@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Model explorer: compare DDP models on performance AND guarantees.
+
+Runs a selection of <consistency, persistency> pairs on the same
+workload, prints measured performance normalized to <Linearizable,
+Synchronous>, and sets the numbers side by side with the qualitative
+trade-off profile (Table 4 of the paper) — because, as the paper argues,
+throughput alone is not a fair comparison.
+
+Usage: python examples/model_explorer.py [workload]   (A, B, C or W)
+"""
+
+import sys
+
+from repro import (
+    Consistency,
+    DdpModel,
+    Persistency,
+    WORKLOADS,
+    analyze,
+    run_simulation,
+)
+
+MODELS = [
+    DdpModel(Consistency.LINEARIZABLE, Persistency.SYNCHRONOUS),
+    DdpModel(Consistency.LINEARIZABLE, Persistency.READ_ENFORCED),
+    DdpModel(Consistency.READ_ENFORCED, Persistency.SYNCHRONOUS),
+    DdpModel(Consistency.TRANSACTIONAL, Persistency.SYNCHRONOUS),
+    DdpModel(Consistency.CAUSAL, Persistency.SYNCHRONOUS),
+    DdpModel(Consistency.CAUSAL, Persistency.EVENTUAL),
+    DdpModel(Consistency.LINEARIZABLE, Persistency.SCOPE),
+    DdpModel(Consistency.EVENTUAL, Persistency.EVENTUAL),
+]
+
+
+def main():
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "A"
+    workload = WORKLOADS[workload_name]
+    print(f"Workload {workload_name}: {workload.read_fraction:.0%} reads, "
+          f"zipfian theta={workload.zipf_theta}\n")
+
+    summaries = {}
+    for model in MODELS:
+        print(f"running {model} ...")
+        summaries[model] = run_simulation(model, workload,
+                                          duration_ns=100_000,
+                                          warmup_ns=10_000)
+    baseline = summaries[MODELS[0]]
+
+    print(f"\n{'model':<42} {'thr':>6} {'rd(ns)':>7} {'wr(ns)':>7} "
+          f"{'dur':>4} {'perf':>5} {'intuit':>7}")
+    print("-" * 84)
+    for model in MODELS:
+        summary = summaries[model]
+        profile = analyze(model)
+        ratio = (summary.throughput_ops_per_s
+                 / baseline.throughput_ops_per_s)
+        print(f"{str(model):<42} {ratio:>5.2f}x "
+              f"{summary.mean_read_ns:>7.0f} {summary.mean_write_ns:>7.0f} "
+              f"{profile.durability.arrow:>4} {profile.performance.arrow:>5} "
+              f"{profile.intuitiveness.arrow:>7}")
+
+    print("\nArrows: ^ high, - medium, v low  "
+          "(durability / derived performance / programmer intuition)")
+    print("Note how the fastest models give up durability or intuition — "
+          "the paper's central trade-off.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Quickstart: run one DDP model on a YCSB workload and print results.
+
+Builds the paper's default cluster (5 servers, 20 clients each, RDMA
+network, DRAM+NVM memory), binds Causal consistency with Synchronous
+persistency — the paper's recommended sweet spot for a broad class of
+applications — and runs YCSB workload A for 100 us of simulated time.
+"""
+
+from repro import Consistency, DdpModel, Persistency, WORKLOADS, run_simulation
+
+
+def main():
+    model = DdpModel(Consistency.CAUSAL, Persistency.SYNCHRONOUS)
+    print(f"Simulating {model} on YCSB workload A "
+          f"(50% reads / 50% writes, zipfian keys) ...")
+
+    summary = run_simulation(model, WORKLOADS["A"],
+                             duration_ns=100_000, warmup_ns=10_000)
+
+    print(f"\ncompleted requests : {summary.requests}")
+    print(f"throughput         : {summary.throughput_ops_per_s / 1e6:.2f} Mops/s")
+    print(f"mean read latency  : {summary.mean_read_ns:.0f} ns")
+    print(f"mean write latency : {summary.mean_write_ns:.0f} ns")
+    print(f"p95 read latency   : {summary.p95_read_ns:.0f} ns")
+    print(f"p95 write latency  : {summary.p95_write_ns:.0f} ns")
+    print(f"protocol messages  : {summary.total_messages}")
+    print(f"NVM persists       : {summary.persists}")
+    print(f"peak causal buffer : {summary.causal_buffer_peak} updates")
+
+
+if __name__ == "__main__":
+    main()

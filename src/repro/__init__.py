@@ -1,0 +1,65 @@
+"""repro — a reproduction of *Distributed Data Persistency* (MICRO 2021).
+
+The package implements the paper's Distributed Data Persistency (DDP)
+framework — the binding of memory persistency models with data
+consistency models in a distributed system — together with every
+substrate its evaluation needs: a discrete-event simulator, an
+RDMA-style network, banked NVM/DRAM devices, key-value stores, YCSB
+workloads, transactions, and crash recovery.
+
+Quickstart::
+
+    from repro import Consistency, Persistency, DdpModel, WORKLOADS
+    from repro import run_simulation
+
+    model = DdpModel(Consistency.CAUSAL, Persistency.SYNCHRONOUS)
+    summary = run_simulation(model, WORKLOADS["A"])
+    print(f"{model}: {summary.throughput_ops_per_s / 1e6:.2f} Mops/s")
+"""
+
+from repro.analysis import Metrics, Summary, format_figure6_table, format_summary_table
+from repro.cluster import Cluster, ClusterConfig, run_simulation
+from repro.core import (
+    ClientContext,
+    Consistency,
+    DdpModel,
+    Persistency,
+    ProtocolConfig,
+    ProtocolNode,
+    TABLE4_MODELS,
+    all_ddp_models,
+    analyze,
+    analyze_all,
+)
+from repro.hybrid import HybridCluster
+from repro.recovery import RecoveryReplayer, recover_latest, recover_majority
+from repro.workload import WORKLOADS, WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "ClientContext",
+    "Consistency",
+    "DdpModel",
+    "HybridCluster",
+    "Metrics",
+    "RecoveryReplayer",
+    "Persistency",
+    "ProtocolConfig",
+    "ProtocolNode",
+    "Summary",
+    "TABLE4_MODELS",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "all_ddp_models",
+    "analyze",
+    "analyze_all",
+    "format_figure6_table",
+    "format_summary_table",
+    "recover_latest",
+    "recover_majority",
+    "run_simulation",
+    "__version__",
+]

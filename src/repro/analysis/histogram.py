@@ -1,0 +1,130 @@
+"""Log-bucketed latency histogram (HDR-histogram style).
+
+The metrics layer keeps raw per-op records for exactness, but long
+sweeps and the monitoring hooks need a bounded-memory sketch.  This is a
+classic base-2 log-linear histogram: values are bucketed by (exponent,
+linear sub-bucket), giving a configurable relative error (1/2^precision)
+across the full range with O(buckets) memory, exact counts, and
+mergeability.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["LatencyHistogram"]
+
+
+class LatencyHistogram:
+    """Fixed-relative-error histogram for non-negative values.
+
+    ``precision`` linear sub-buckets per power of two bound the relative
+    quantile error by ``1 / 2**precision``.
+    """
+
+    def __init__(self, precision: int = 5):
+        if not 1 <= precision <= 12:
+            raise ValueError(f"precision out of range: {precision}")
+        self.precision = precision
+        self._sub_buckets = 1 << precision
+        self._counts: Dict[int, int] = {}
+        self._total = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = 0.0
+
+    # -- recording -----------------------------------------------------------------
+
+    def _bucket_index(self, value: float) -> int:
+        if value < 1.0:
+            return 0
+        exponent = int(value).bit_length() - 1
+        base = 1 << exponent
+        sub = int((value - base) * self._sub_buckets / base)
+        sub = min(sub, self._sub_buckets - 1)
+        return (exponent + 1) * self._sub_buckets + sub
+
+    def _bucket_bounds(self, index: int) -> Tuple[float, float]:
+        if index == 0:
+            return (0.0, 1.0)
+        exponent = index // self._sub_buckets - 1
+        sub = index % self._sub_buckets
+        base = float(1 << exponent)
+        width = base / self._sub_buckets
+        low = base + sub * width
+        return (low, low + width)
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative latency: {value}")
+        index = self._bucket_index(value)
+        self._counts[index] = self._counts.get(index, 0) + 1
+        self._total += 1
+        self._sum += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram (same precision) into this one."""
+        if other.precision != self.precision:
+            raise ValueError("precision mismatch")
+        for index, count in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + count
+        self._total += other._total
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    # -- queries ------------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._total
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._total if self._total else float("nan")
+
+    @property
+    def min(self) -> float:
+        return self._min if self._total else float("nan")
+
+    @property
+    def max(self) -> float:
+        return self._max if self._total else float("nan")
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile (bucket midpoint), e.g. 0.95."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction out of range: {fraction}")
+        if self._total == 0:
+            return float("nan")
+        target = max(1, math.ceil(fraction * self._total))
+        seen = 0
+        for index in sorted(self._counts):
+            seen += self._counts[index]
+            if seen >= target:
+                low, high = self._bucket_bounds(index)
+                return min(max((low + high) / 2.0, self._min), self._max)
+        return self._max  # pragma: no cover - unreachable
+
+    def buckets(self) -> Iterator[Tuple[float, float, int]]:
+        """(low, high, count) for every populated bucket, ascending."""
+        for index in sorted(self._counts):
+            low, high = self._bucket_bounds(index)
+            yield (low, high, self._counts[index])
+
+    def render(self, width: int = 50) -> str:
+        """ASCII bar rendering (for reports and debugging)."""
+        if not self._total:
+            return "(empty histogram)"
+        peak = max(self._counts.values())
+        lines = []
+        for low, high, count in self.buckets():
+            bar = "#" * max(1, int(count * width / peak))
+            lines.append(f"[{low:>12.0f}, {high:>12.0f}) {count:>8} {bar}")
+        return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""A small linearizability checker (Wing & Gong style).
+
+Used by the validation tests: histories of timed read/write operations
+on a register are checked for the existence of a legal linearization —
+a total order consistent with the real-time order (an operation that
+responded before another was invoked must precede it) in which every
+read returns the most recent preceding write.
+
+The search is exponential in the worst case, as linearizability checking
+is NP-hard; the tests keep histories small (tens of operations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Set
+
+__all__ = ["HistoryOp", "is_linearizable"]
+
+
+@dataclass(frozen=True)
+class HistoryOp:
+    """One completed operation in a history."""
+
+    op_type: str        # "read" | "write"
+    value: Any          # written value, or value returned by the read
+    invoke: float
+    respond: float
+
+    def __post_init__(self):
+        if self.op_type not in ("read", "write"):
+            raise ValueError(f"bad op_type {self.op_type!r}")
+        if self.respond < self.invoke:
+            raise ValueError("response before invocation")
+
+
+def is_linearizable(history: Sequence[HistoryOp],
+                    initial_value: Any = None) -> bool:
+    """True iff ``history`` has a legal linearization for one register."""
+    ops = list(history)
+    n = len(ops)
+    if n == 0:
+        return True
+
+    # precedes[i] = set of ops that must come before i (real-time order).
+    precedes: List[Set[int]] = [set() for _ in range(n)]
+    for i, earlier in enumerate(ops):
+        for j, later in enumerate(ops):
+            if i != j and earlier.respond < later.invoke:
+                precedes[j].add(i)
+
+    chosen: List[int] = []
+    used = [False] * n
+
+    def minimal_candidates() -> List[int]:
+        """Ops whose real-time predecessors have all been placed."""
+        return [i for i in range(n)
+                if not used[i] and all(used[p] for p in precedes[i])]
+
+    def current_value() -> Any:
+        for index in reversed(chosen):
+            if ops[index].op_type == "write":
+                return ops[index].value
+        return initial_value
+
+    def search() -> bool:
+        if len(chosen) == n:
+            return True
+        for candidate in minimal_candidates():
+            op = ops[candidate]
+            if op.op_type == "read" and op.value != current_value():
+                continue
+            used[candidate] = True
+            chosen.append(candidate)
+            if search():
+                return True
+            chosen.pop()
+            used[candidate] = False
+        return False
+
+    return search()

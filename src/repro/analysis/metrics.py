@@ -1,0 +1,171 @@
+"""Run metrics: operation latencies, throughput, traffic, protocol counters.
+
+One :class:`Metrics` instance is shared by all nodes in a cluster run.
+Operation records are appended by the client layer; protocol engines
+bump counters (messages, persists, conflicts, buffered causal updates,
+read stalls on unpersisted writes).  :class:`Summary` turns the raw
+records into the quantities the paper's figures report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["OpRecord", "Metrics", "Summary"]
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One completed client operation."""
+
+    op_type: str          # "read" | "write" | "begin_txn" | "end_txn" | "persist"
+    node: int
+    client: int
+    key: Optional[int]
+    start_ns: float
+    end_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile on pre-sorted data."""
+    if not sorted_values:
+        return float("nan")
+    rank = max(0, min(len(sorted_values) - 1,
+                      math.ceil(fraction * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+class Metrics:
+    """Mutable collector for one simulation run."""
+
+    def __init__(self):
+        self.ops: List[OpRecord] = []
+        # Traffic.
+        self.messages_by_type: Dict[str, int] = {}
+        self.bytes_by_type: Dict[str, int] = {}
+        # Protocol counters.
+        self.persists = 0
+        self.txn_conflicts = 0
+        self.txn_commits = 0
+        self.txn_aborts = 0
+        self.read_stalls = 0
+        self.reads_blocked_by_unpersisted = 0
+        self.write_stalls = 0
+        self.causal_buffered_total = 0
+        self.causal_buffer_peak = 0
+        self.warmup_end_ns = 0.0
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_op(self, record: OpRecord) -> None:
+        self.ops.append(record)
+
+    def record_message(self, msg_type: str, size_bytes: int) -> None:
+        self.messages_by_type[msg_type] = self.messages_by_type.get(msg_type, 0) + 1
+        self.bytes_by_type[msg_type] = self.bytes_by_type.get(msg_type, 0) + size_bytes
+
+    def note_causal_buffer(self, current_buffered: int) -> None:
+        self.causal_buffered_total += 1
+        self.causal_buffer_peak = max(self.causal_buffer_peak, current_buffered)
+
+    # -- aggregates ----------------------------------------------------------------
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_type.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_type.values())
+
+    def summarize(self, duration_ns: float) -> "Summary":
+        """Aggregate into the per-figure quantities.
+
+        Only operations that *completed after warmup* count, mirroring
+        the paper's warmup-then-measure methodology.
+        """
+        measured = [op for op in self.ops if op.end_ns >= self.warmup_end_ns]
+        reads = sorted(op.latency_ns for op in measured if op.op_type == "read")
+        writes = sorted(op.latency_ns for op in measured if op.op_type == "write")
+        all_lat = sorted(op.latency_ns for op in measured
+                         if op.op_type in ("read", "write"))
+        span = max(duration_ns - self.warmup_end_ns, 1.0)
+        requests = len([op for op in measured if op.op_type in ("read", "write")])
+        return Summary(
+            requests=requests,
+            duration_ns=span,
+            throughput_ops_per_s=requests / (span * 1e-9),
+            mean_read_ns=(sum(reads) / len(reads)) if reads else float("nan"),
+            mean_write_ns=(sum(writes) / len(writes)) if writes else float("nan"),
+            mean_access_ns=(sum(all_lat) / len(all_lat)) if all_lat else float("nan"),
+            p95_read_ns=_percentile(reads, 0.95),
+            p95_write_ns=_percentile(writes, 0.95),
+            p99_read_ns=_percentile(reads, 0.99),
+            p99_write_ns=_percentile(writes, 0.99),
+            total_messages=self.total_messages,
+            total_bytes=self.total_bytes,
+            persists=self.persists,
+            txn_conflicts=self.txn_conflicts,
+            txn_commits=self.txn_commits,
+            read_stalls=self.read_stalls,
+            reads_blocked_by_unpersisted=self.reads_blocked_by_unpersisted,
+            causal_buffer_peak=self.causal_buffer_peak,
+            causal_buffered_total=self.causal_buffered_total,
+        )
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Aggregated results of one run (the rows of the paper's plots)."""
+
+    requests: int
+    duration_ns: float
+    throughput_ops_per_s: float
+    mean_read_ns: float
+    mean_write_ns: float
+    mean_access_ns: float
+    p95_read_ns: float
+    p95_write_ns: float
+    p99_read_ns: float
+    p99_write_ns: float
+    total_messages: int
+    total_bytes: int
+    persists: int
+    txn_conflicts: int
+    txn_commits: int
+    read_stalls: int
+    reads_blocked_by_unpersisted: int
+    causal_buffer_peak: int
+    causal_buffered_total: int
+
+    @property
+    def read_conflict_fraction(self) -> float:
+        """Fraction of reads that stalled on a yet-to-persist write."""
+        read_count = max(self.requests, 1)
+        return self.reads_blocked_by_unpersisted / read_count
+
+    def normalized_to(self, baseline: "Summary") -> Dict[str, float]:
+        """Ratios against a baseline run (the paper normalizes all plots
+        to <Linearizable, Synchronous>)."""
+        def ratio(mine: float, theirs: float) -> float:
+            if theirs == 0 or math.isnan(theirs) or math.isnan(mine):
+                return float("nan")
+            return mine / theirs
+
+        return {
+            "throughput": ratio(self.throughput_ops_per_s,
+                                baseline.throughput_ops_per_s),
+            "mean_read": ratio(self.mean_read_ns, baseline.mean_read_ns),
+            "mean_write": ratio(self.mean_write_ns, baseline.mean_write_ns),
+            "mean_access": ratio(self.mean_access_ns, baseline.mean_access_ns),
+            "p95_read": ratio(self.p95_read_ns, baseline.p95_read_ns),
+            "p95_write": ratio(self.p95_write_ns, baseline.p95_write_ns),
+            "traffic_bytes": ratio(float(self.total_bytes),
+                                   float(baseline.total_bytes)),
+        }

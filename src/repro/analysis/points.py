@@ -1,0 +1,126 @@
+"""Measuring Visibility Points and Durability Points directly.
+
+The paper's whole framework rests on two per-update instants (Section 4):
+
+* **Visibility Point (VP)** — when the update becomes available for
+  consumption at a replica node (set by the consistency model).
+* **Durability Point (DP)** — when the update is durable and cannot be
+  wiped out by a failure (set by the persistency model).
+
+:class:`PointsTracker` records, for every write, the time it was issued,
+the times it was applied at each node, and the times it was persisted at
+each node; from those it derives the distribution of *visibility lag*
+(issue -> applied at all replicas) and *durability lag* (issue ->
+persisted at all replicas) per DDP model — making Table 2's qualitative
+"when" column a measurable quantity.
+
+The tracker plugs into the protocol engine through the standard tracer
+interface (:meth:`emit` with categories ``write_issue`` / ``apply`` /
+``persist``), so enabling it costs nothing when disabled.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["PointsTracker", "PointsSummary"]
+
+
+@dataclass
+class _WritePoints:
+    issued_at: float
+    applied_at: Dict[int, float] = field(default_factory=dict)
+    persisted_at: Dict[int, float] = field(default_factory=dict)
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class PointsSummary:
+    """Visibility/durability lag distributions for one run."""
+
+    writes_tracked: int
+    fully_visible: int
+    fully_durable: int
+    mean_visibility_lag_ns: float
+    p95_visibility_lag_ns: float
+    mean_durability_lag_ns: float
+    p95_durability_lag_ns: float
+
+    @property
+    def visibility_completion_fraction(self) -> float:
+        return self.fully_visible / max(self.writes_tracked, 1)
+
+    @property
+    def durability_completion_fraction(self) -> float:
+        return self.fully_durable / max(self.writes_tracked, 1)
+
+
+class PointsTracker:
+    """A tracer that derives VP/DP lags from engine events.
+
+    Engines call ``emit(time, category, node, **details)``; the tracker
+    consumes three categories and ignores the rest:
+
+    * ``write_issue``: a coordinator accepted a client write
+      (details: key, version).
+    * ``apply``: a node installed a version into its volatile hierarchy.
+    * ``persist``: a node made a version durable.
+    """
+
+    enabled = True
+
+    def __init__(self, num_nodes: int):
+        self.num_nodes = num_nodes
+        self._writes: Dict[Tuple[int, Tuple[int, int]], _WritePoints] = {}
+
+    # -- tracer interface ---------------------------------------------------------
+
+    def emit(self, time: float, category: str, node: Optional[int] = None,
+             **details) -> None:
+        if category == "write_issue":
+            key = (details["key"], details["version"])
+            self._writes.setdefault(key, _WritePoints(issued_at=time))
+            # The coordinator's own apply happens as part of the issue.
+            return
+        if category not in ("apply", "persist"):
+            return
+        key = (details["key"], details["version"])
+        record = self._writes.get(key)
+        if record is None:
+            return  # an update issued before tracking started
+        slot = record.applied_at if category == "apply" else record.persisted_at
+        slot.setdefault(node, time)
+
+    # -- derivation --------------------------------------------------------------------
+
+    def _lags(self, fully_reached) -> List[float]:
+        lags = []
+        for record in self._writes.values():
+            times = fully_reached(record)
+            if len(times) == self.num_nodes:
+                lags.append(max(times.values()) - record.issued_at)
+        return lags
+
+    def summarize(self) -> PointsSummary:
+        visibility = self._lags(lambda r: r.applied_at)
+        durability = self._lags(lambda r: r.persisted_at)
+        mean = lambda xs: sum(xs) / len(xs) if xs else float("nan")
+        return PointsSummary(
+            writes_tracked=len(self._writes),
+            fully_visible=len(visibility),
+            fully_durable=len(durability),
+            mean_visibility_lag_ns=mean(visibility),
+            p95_visibility_lag_ns=_percentile(visibility, 0.95),
+            mean_durability_lag_ns=mean(durability),
+            p95_durability_lag_ns=_percentile(durability, 0.95),
+        )

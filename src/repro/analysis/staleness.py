@@ -1,0 +1,83 @@
+"""Read-staleness measurement.
+
+Consistency models trade freshness for performance (Section 2.1: "weak
+models permit reads to different replicas to return inconsistent,
+sometimes stale versions").  The :class:`VersionBoard` is measurement
+infrastructure (like the transaction table, it sits outside the
+protocol): every write registers its version at issue time, and every
+read reports which version it returned; the board scores how many
+versions behind the global latest the read was.
+
+Under Linearizable consistency the distribution is a point mass at 0;
+Eventual consistency and <Causal/Eventual, Synchronous> (whose reads
+return the *persisted* version) show real staleness tails.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.replica import Version, ZERO_VERSION
+
+__all__ = ["VersionBoard", "StalenessSummary"]
+
+
+class StalenessSummary:
+    """Distribution of versions-behind across all scored reads."""
+
+    def __init__(self, samples: List[int]):
+        self.samples = samples
+
+    @property
+    def reads_scored(self) -> int:
+        return len(self.samples)
+
+    @property
+    def stale_reads(self) -> int:
+        return sum(1 for s in self.samples if s > 0)
+
+    @property
+    def stale_fraction(self) -> float:
+        return self.stale_reads / max(self.reads_scored, 1)
+
+    @property
+    def mean_versions_behind(self) -> float:
+        return (sum(self.samples) / len(self.samples)
+                if self.samples else float("nan"))
+
+    @property
+    def max_versions_behind(self) -> int:
+        return max(self.samples) if self.samples else 0
+
+
+class VersionBoard:
+    """Global registry of the latest issued version per key."""
+
+    def __init__(self):
+        self._latest: Dict[int, Version] = {}
+        self._issue_counts: Dict[int, int] = {}
+        self._samples: List[int] = []
+
+    # -- write side ---------------------------------------------------------------
+
+    def note_write(self, key: int, version: Version) -> None:
+        current = self._latest.get(key, ZERO_VERSION)
+        if version > current:
+            self._latest[key] = version
+        self._issue_counts[key] = self._issue_counts.get(key, 0) + 1
+
+    # -- read side -----------------------------------------------------------------
+
+    def score_read(self, key: int, version: Version) -> int:
+        """Record a read of ``key`` at ``version``; return its staleness
+        in whole versions behind the latest issued write."""
+        latest = self._latest.get(key, ZERO_VERSION)
+        behind = max(0, latest[0] - version[0])
+        self._samples.append(behind)
+        return behind
+
+    def latest(self, key: int) -> Version:
+        return self._latest.get(key, ZERO_VERSION)
+
+    def summarize(self) -> StalenessSummary:
+        return StalenessSummary(list(self._samples))

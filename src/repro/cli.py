@@ -1,0 +1,180 @@
+"""Command-line interface for the reproduction.
+
+Subcommands:
+
+* ``run`` — simulate one DDP model on one workload and print a summary.
+* ``sweep`` — run several models on the same workload, normalized to
+  <Linearizable, Synchronous> (a one-line Figure 6 slice).
+* ``tradeoffs`` — print the derived Table 4 (or the full 25-model grid).
+* ``recover`` — run a workload, crash the cluster, simulate recovery,
+  and report what survived.
+
+Examples::
+
+    python -m repro.cli run --consistency causal --persistency synchronous
+    python -m repro.cli sweep --workload B --duration-us 150
+    python -m repro.cli tradeoffs --all
+    python -m repro.cli recover --persistency eventual --strategy majority
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_summary_table
+from repro.cluster.cluster import Cluster, run_simulation
+from repro.cluster.config import ClusterConfig
+from repro.core.model import Consistency, DdpModel, Persistency, all_ddp_models
+from repro.core.tradeoffs import analyze_all
+from repro.recovery.replayer import RecoveryReplayer
+from repro.workload.ycsb import WORKLOADS
+
+__all__ = ["main", "build_parser"]
+
+
+def _model_from(args) -> DdpModel:
+    return DdpModel(Consistency(args.consistency), Persistency(args.persistency))
+
+
+def _config_from(args) -> ClusterConfig:
+    return ClusterConfig(servers=args.servers,
+                         clients_per_server=args.clients // args.servers,
+                         seed=args.seed)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="A", choices=sorted(WORKLOADS),
+                        help="YCSB workload mix (default: A)")
+    parser.add_argument("--servers", type=int, default=5)
+    parser.add_argument("--clients", type=int, default=100,
+                        help="total clients across the cluster")
+    parser.add_argument("--duration-us", type=float, default=100.0,
+                        help="measured simulated time per run")
+    parser.add_argument("--seed", type=int, default=2021)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed Data Persistency (MICRO 2021) reproduction")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="simulate one DDP model")
+    run_parser.add_argument("--consistency", default="causal",
+                            choices=[c.value for c in Consistency])
+    run_parser.add_argument("--persistency", default="synchronous",
+                            choices=[p.value for p in Persistency])
+    _add_common(run_parser)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="compare models on one workload")
+    sweep_parser.add_argument("--all", action="store_true",
+                              help="sweep all 25 models (slow)")
+    _add_common(sweep_parser)
+
+    tradeoff_parser = subparsers.add_parser(
+        "tradeoffs", help="print the derived Table 4")
+    tradeoff_parser.add_argument("--all", action="store_true",
+                                 help="derive all 25 models")
+
+    recover_parser = subparsers.add_parser(
+        "recover", help="crash mid-run and simulate recovery")
+    recover_parser.add_argument("--consistency", default="causal",
+                                choices=[c.value for c in Consistency])
+    recover_parser.add_argument("--persistency", default="synchronous",
+                                choices=[p.value for p in Persistency])
+    recover_parser.add_argument("--strategy", default="latest",
+                                choices=["latest", "majority"])
+    _add_common(recover_parser)
+    return parser
+
+
+def _cmd_run(args) -> int:
+    model = _model_from(args)
+    duration = args.duration_us * 1000.0
+    summary = run_simulation(model, WORKLOADS[args.workload],
+                             config=_config_from(args),
+                             duration_ns=duration,
+                             warmup_ns=duration / 10)
+    print(format_summary_table([(str(model), summary)]))
+    print(f"\npersists={summary.persists}  messages={summary.total_messages}"
+          f"  causal-buffer-peak={summary.causal_buffer_peak}"
+          f"  txn-conflicts={summary.txn_conflicts}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    duration = args.duration_us * 1000.0
+    if args.all:
+        models = all_ddp_models()
+    else:
+        models = [
+            DdpModel(Consistency.LINEARIZABLE, Persistency.SYNCHRONOUS),
+            DdpModel(Consistency.READ_ENFORCED, Persistency.SYNCHRONOUS),
+            DdpModel(Consistency.TRANSACTIONAL, Persistency.SYNCHRONOUS),
+            DdpModel(Consistency.CAUSAL, Persistency.SYNCHRONOUS),
+            DdpModel(Consistency.CAUSAL, Persistency.EVENTUAL),
+            DdpModel(Consistency.EVENTUAL, Persistency.EVENTUAL),
+        ]
+    rows = []
+    baseline = None
+    for model in models:
+        summary = run_simulation(model, WORKLOADS[args.workload],
+                                 config=_config_from(args),
+                                 duration_ns=duration,
+                                 warmup_ns=duration / 10)
+        if baseline is None:
+            baseline = summary
+        rows.append((str(model), summary))
+    print(format_summary_table(rows, baseline=baseline))
+    return 0
+
+
+def _cmd_tradeoffs(args) -> int:
+    models = all_ddp_models() if args.all else None
+    for profile in analyze_all(models):
+        print(profile.row())
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    model = _model_from(args)
+    duration = args.duration_us * 1000.0
+    cluster = Cluster(model, config=_config_from(args),
+                      workload=WORKLOADS[args.workload])
+    cluster.run(duration_ns=duration, warmup_ns=duration / 10)
+    cluster.crash_all()
+    report = RecoveryReplayer(cluster).simulate(args.strategy)
+    print(f"model                : {model}")
+    print(f"strategy             : {report.strategy}")
+    print(f"keys in NVM images   : {report.total_keys}")
+    print(f"divergent keys       : {report.divergent_keys} "
+          f"({report.divergence_fraction:.1%})")
+    print(f"scan time            : {report.scan_ns / 1000:.1f} us")
+    print(f"reconciliation time  : {report.reconcile_ns / 1000:.1f} us")
+    print(f"total recovery time  : {report.total_ns / 1000:.1f} us")
+    print(f"recovered keys       : {len(report.state)}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "tradeoffs": _cmd_tradeoffs,
+    "recover": _cmd_recover,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Cluster substrate: server nodes, cluster assembly, experiment harness."""
+
+from repro.cluster.cluster import Cluster, run_simulation
+from repro.cluster.config import ClusterConfig
+from repro.cluster.node import Node
+
+__all__ = ["Cluster", "ClusterConfig", "Node", "run_simulation"]

@@ -1,0 +1,84 @@
+"""Per-client session context: causal dependencies, scopes, transactions.
+
+Causal consistency needs each update to carry its *causal history*
+(``cauhist``): the happens-before predecessors of the write.  Following
+the standard nearest-dependency optimization (as in COPS), a client
+tracks the (key, version) pairs it has observed — reads it performed and
+writes it issued — since its last write; a new write depends on exactly
+those, because earlier history is transitively covered by them.
+
+Scope persistency needs each client to tag writes with its current scope
+id and to remember which (key, version) pairs a scope contains, so the
+Persist call can name them.  Transactional consistency similarly tracks
+the writes of the open transaction for the ENDX payload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.replica import Version
+
+__all__ = ["ClientContext"]
+
+
+class ClientContext:
+    """Session state for one client thread."""
+
+    def __init__(self, client_id: int, node_id: int):
+        self.client_id = client_id
+        self.node_id = node_id
+        # Nearest causal dependencies: key -> version observed since the
+        # last write (superseded observations keep only the max version).
+        self._deps: Dict[int, Version] = {}
+        # Scope tracking.
+        self.scope_counter = 0
+        self.scope_writes: List[Tuple[int, Version]] = []
+        # Open transaction (managed by the protocol engine).
+        self.txn = None
+        # Version returned by the session's most recent read (set by the
+        # engine; used by session-guarantee validation and recorders).
+        self.last_read_version: Version = (0, -1)
+
+    # -- causal dependencies ------------------------------------------------------
+
+    def observe(self, key: int, version: Version) -> None:
+        """Record that the client saw ``key`` at ``version`` (read or write)."""
+        if version[0] <= 0:
+            return
+        current = self._deps.get(key)
+        if current is None or version > current:
+            self._deps[key] = version
+
+    def take_dependencies(self, key: int, version: Version) -> Tuple[Tuple[int, Version], ...]:
+        """Consume the accumulated dependencies for a new write.
+
+        Returns the cauhist for the write and resets the dependency set
+        to just the write itself (nearest-dependency tracking).
+        """
+        cauhist = tuple(sorted(self._deps.items()))
+        self._deps = {key: version}
+        return cauhist
+
+    @property
+    def dependency_count(self) -> int:
+        return len(self._deps)
+
+    # -- scopes --------------------------------------------------------------------
+
+    @property
+    def current_scope_id(self) -> int:
+        """Scope ids are totally ordered within a client, unordered across
+        clients (the paper's design choice in Section 2.2)."""
+        return self.client_id * 1_000_000 + self.scope_counter
+
+    def record_scope_write(self, key: int, version: Version) -> None:
+        self.scope_writes.append((key, version))
+
+    def close_scope(self) -> Tuple[int, List[Tuple[int, Version]]]:
+        """End the current scope; return (scope_id, its writes)."""
+        scope_id = self.current_scope_id
+        writes = self.scope_writes
+        self.scope_writes = []
+        self.scope_counter += 1
+        return scope_id, writes

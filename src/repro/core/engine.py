@@ -1,0 +1,1105 @@
+"""The DDP protocol engine: leaderless coordinator/follower protocols.
+
+One :class:`ProtocolNode` runs at every server.  Following the paper
+(Section 5), the protocols are leaderless: any node can receive a client
+read or write and act as the *Coordinator* for that operation; all other
+nodes are *Followers* (every key is replicated at every node).  On a
+write, the coordinator *broadcasts* to all followers rather than
+chaining through them.
+
+The engine is a single state machine parameterized by a
+:class:`~repro.core.policies.ConsistencyPolicy` and a
+:class:`~repro.core.policies.PersistencyPolicy`; together these
+reproduce the per-model protocols of Figures 2-5:
+
+* Invalidation-based consistency (Linearizable / Read-Enforced /
+  Transactional) uses INV -> ACK(:sub:`c/p`) -> VAL(:sub:`c/p`) rounds.
+* Causal / Eventual consistency sends UPD messages (with causal history
+  under Causal) and never needs global visibility information.
+* Persistency decides where persists sit (inline at apply, eagerly or
+  lazily in the background, or at scope ends), whether writes stall for
+  cluster-wide durability (Strict), and what reads may return / stall on.
+
+Threading model: client requests occupy a *request worker* core for
+their whole lifetime, including stalls (worker threads block, as in the
+paper's testbed where client and worker threads are pinned to separate
+cores).  Inbound protocol messages are handled by a separate small pool
+of *protocol workers* that is only held for CPU time, never across
+stalls — so the message plane can always make progress and wake stalled
+requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.analysis.metrics import Metrics
+from repro.core.context import ClientContext
+from repro.core.messages import Message, MsgType
+from repro.core.model import DdpModel
+from repro.core.policies import (
+    ConsistencyPolicy,
+    PersistencyPolicy,
+    PersistMode,
+    policy_for,
+)
+from repro.core.replica import KeyReplica, ReplicaTable, Version
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.net.network import Network, Nic
+from repro.sim.engine import Simulator
+from repro.sim.sync import Latch, Resource
+from repro.sim.trace import NullTracer
+from repro.txn.manager import Txn, TxnTable
+
+__all__ = ["ProtocolConfig", "ProtocolNode"]
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Engine tunables (defaults sized to the paper's Table 5 testbed)."""
+
+    request_workers: int = 12
+    """Worker cores per node that execute client requests (and block with
+    them); the remaining cores of the 20-core chip run client threads and
+    protocol handling."""
+
+    protocol_workers: int = 8
+    """Cores dedicated to inbound protocol message processing."""
+
+    msg_proc_ns: float = 50.0
+    """CPU time to process one inbound protocol message (RDMA delivery
+    leaves little per-message kernel work)."""
+
+    req_proc_ns: float = 500.0
+    """CPU time to parse, dispatch, and post-process one client request
+    (store-structure walk extra) — roughly the per-request instruction
+    footprint of a memcached-class server on the paper's 2 GHz cores."""
+
+    value_bytes: int = 64
+    """Size of one key-value payload on the wire and in DDIO."""
+
+    lazy_propagation_delay_ns: float = 2_000.0
+    """Eventual consistency: delay before UPDs are sent out."""
+
+    lazy_persist_delay_ns: float = 10_000.0
+    """Eventual persistency: delay before a background persist is queued."""
+
+    txn_length: int = 5
+    """Client requests per transaction (paper Section 7)."""
+
+    scope_length: int = 10
+    """Client requests per scope (paper Section 7)."""
+
+    txn_retry_backoff_ns: float = 6_000.0
+    """Client backoff after a squashed transaction before retrying."""
+
+    chain_propagation: bool = False
+    """Ablation: instead of the paper's leaderless broadcast, propagate
+    coordinator messages follower-by-follower (each send starts once the
+    previous one is delivered), modeling a sequential-visit chain."""
+
+
+@dataclass
+class _WriteOp:
+    """Coordinator-side state for one outstanding write."""
+
+    op_id: int
+    key: int
+    version: Version
+    value: Any
+    ack_c: Latch
+    ack_p: Optional[Latch] = None
+    txn_id: Optional[int] = None
+    scope_id: Optional[int] = None
+
+
+@dataclass
+class _RoundOp:
+    """Coordinator-side state for an INITX / ENDX / PERSIST round."""
+
+    op_id: int
+    acks: Latch
+
+
+class ProtocolNode:
+    """One server's protocol engine (coordinator + follower roles)."""
+
+    def __init__(self, sim: Simulator, node_id: int, peer_ids: List[int],
+                 network: Network, nic: Nic, memory: MemoryHierarchy,
+                 model: DdpModel, metrics: Metrics,
+                 config: Optional[ProtocolConfig] = None,
+                 txn_table: Optional[TxnTable] = None,
+                 store: Any = None, nvm_log: Any = None, tracer: Any = None,
+                 version_board: Any = None):
+        self.sim = sim
+        self.node_id = node_id
+        self.peer_ids = list(peer_ids)
+        self.network = network
+        self.nic = nic
+        self.memory = memory
+        self.model = model
+        self.cpolicy, self.ppolicy = policy_for(model)
+        self.metrics = metrics
+        self.config = config or ProtocolConfig()
+        self.txn_table = txn_table
+        self.store = store
+        self.nvm_log = nvm_log
+        self.tracer = tracer or NullTracer()
+        self.version_board = version_board
+
+        observer = self._replica_event if self.tracer.enabled else None
+        self.replicas = ReplicaTable(sim, node_id, observer=observer)
+        self.request_workers = Resource(sim, self.config.request_workers,
+                                        name=f"n{node_id}.reqw")
+        self.protocol_workers = Resource(sim, self.config.protocol_workers,
+                                         name=f"n{node_id}.protw")
+        self._op_counter = 0
+        self._outstanding_writes: Dict[int, _WriteOp] = {}
+        self._outstanding_rounds: Dict[int, _RoundOp] = {}
+        # Causal updates buffered for their happens-before history,
+        # indexed by (one of) the keys they are waiting on so that a
+        # version advance re-checks only the relevant updates.
+        self._causal_waiting: Dict[int, List[Message]] = {}
+        self._causal_waiting_count = 0
+        # Follower-side txn bookkeeping: txn_id -> [(key, op_id)] of the
+        # transaction's INVs, cleared when the post-ENDX VAL arrives.
+        self._txn_invs: Dict[int, List[Tuple[int, int]]] = {}
+        self._alive = True
+        self._dispatcher = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch the inbound-message dispatcher."""
+        self._dispatcher = self.sim.process(self._dispatch_loop(),
+                                            name=f"n{self.node_id}.dispatch")
+
+    def crash(self) -> None:
+        """Volatile-state failure: stop processing; volatile data is gone.
+
+        The durable image (``nvm_log`` and per-replica persisted state)
+        survives; :mod:`repro.recovery` rebuilds from it.
+        """
+        self._alive = False
+
+    def _dispatch_loop(self) -> Generator:
+        while True:
+            message = yield self.nic.receive()
+            if not self._alive:
+                continue
+            self.sim.process(self._handle_message(message),
+                             name=f"n{self.node_id}.msg")
+
+    # ------------------------------------------------------------------
+    # small helpers
+    # ------------------------------------------------------------------
+
+    def _next_op_id(self) -> int:
+        self._op_counter += 1
+        return self._op_counter * 1024 + self.node_id
+
+    def _replica_event(self, kind: str, key: int, version: Version) -> None:
+        """Forward replica apply/persist advances to the tracer (used by
+        the Visibility/Durability Point measurement)."""
+        self.tracer.emit(self.sim.now, kind, node=self.node_id,
+                         key=key, version=version)
+
+    def _send(self, dst: int, message: Message) -> None:
+        self.metrics.record_message(message.msg_type.value, message.size_bytes)
+        self.network.send(self.node_id, dst, message, message.size_bytes)
+
+    def _broadcast(self, message: Message) -> None:
+        if self.config.chain_propagation:
+            self.sim.process(self._chain_send(message),
+                             name=f"n{self.node_id}.chain")
+            return
+        for dst in self.peer_ids:
+            self._send(dst, message)
+
+    def _chain_send(self, message: Message) -> Generator:
+        """Sequential propagation (ablation): the message reaches follower
+        k only after it has been delivered at follower k-1."""
+        for dst in self.peer_ids:
+            self.metrics.record_message(message.msg_type.value,
+                                        message.size_bytes)
+            yield self.network.send(self.node_id, dst, message,
+                                    message.size_bytes)
+
+    def _charge_protocol_cpu(self) -> Generator:
+        yield self.protocol_workers.acquire()
+        try:
+            yield self.sim.timeout(self.config.msg_proc_ns)
+        finally:
+            self.protocol_workers.release()
+
+    def _store_read_cost(self, key: int) -> float:
+        if self.store is None:
+            return 0.0
+        return self.store.read_cost(key)
+
+    def _store_write_cost(self, key: int, value: Any) -> float:
+        if self.store is None:
+            return 0.0
+        return self.store.write_cost(key, value)
+
+    # ------------------------------------------------------------------
+    # persistence helpers
+    # ------------------------------------------------------------------
+
+    def _mark_durable(self, replica: KeyReplica, version: Version, value: Any,
+                      scope_id: Optional[int] = None) -> None:
+        """Bookkeeping after a media write completes."""
+        replica.mark_persisted(version, value)
+        self.metrics.persists += 1
+        if self.nvm_log is not None:
+            self.nvm_log.record(self.node_id, replica.key, version, value,
+                                scope_id=scope_id)
+        if (self.cpolicy.causal and self.ppolicy.deps_require_persist
+                and replica.key in self._causal_waiting):
+            # A durability advance can unblock buffered causal updates.
+            self.sim.process(self._recheck_causal_waiters(replica.key),
+                             name=f"n{self.node_id}.crecheck")
+
+    def _request_persist(self, replica: KeyReplica, version: Version,
+                         value: Any) -> None:
+        """Ask for (key, version) to become durable.
+
+        Models memory-controller write combining: while a media write for
+        the key is queued or in service, newer versions overwrite the
+        key's single write-pending slot instead of enqueuing more NVM
+        traffic — hot keys generate one persist per drain, not per write.
+        """
+        if version <= replica.persist_requested:
+            return
+        replica.persist_requested = version
+        replica.persist_target = (version, value)
+        if not replica.persist_active:
+            replica.persist_active = True
+            self.sim.process(self._persist_drain_loop(replica),
+                             name=f"n{self.node_id}.persist")
+
+    def _persist_drain_loop(self, replica: KeyReplica) -> Generator:
+        """Drain the key's write-pending slot until it stays empty."""
+        while replica.persist_target is not None:
+            version, value = replica.persist_target
+            replica.persist_target = None
+            yield from self.memory.persist(replica.key)
+            self._mark_durable(replica, version, value)
+        replica.persist_active = False
+
+    def _ensure_persisted(self, replica: KeyReplica, version: Version,
+                          value: Any, scope_id: Optional[int] = None) -> Generator:
+        """Process: return once ``version`` (or newer) is durable locally.
+
+        Scope-tagged persists bypass write combining so that the durable
+        log attributes each entry to the scope that persisted it.
+        """
+        if replica.persisted_version >= version:
+            return
+        if scope_id is not None:
+            if replica.persist_requested < version:
+                replica.persist_requested = version
+                yield from self.memory.persist(replica.key)
+                self._mark_durable(replica, version, value, scope_id)
+                return
+        else:
+            self._request_persist(replica, version, value)
+        yield replica.condition.wait_for(
+            lambda: replica.persisted_version >= version)
+
+    def _spawn_persist(self, replica: KeyReplica, version: Version, value: Any,
+                       delay_ns: float = 0.0,
+                       scope_id: Optional[int] = None):
+        """Schedule a background persist (eager or lazy)."""
+        if delay_ns <= 0 and scope_id is None:
+            self._request_persist(replica, version, value)
+            return None
+
+        def runner() -> Generator:
+            if delay_ns > 0:
+                yield self.sim.timeout(delay_ns)
+            yield from self._ensure_persisted(replica, version, value, scope_id)
+
+        return self.sim.process(runner(), name=f"n{self.node_id}.bgpersist")
+
+    # ------------------------------------------------------------------
+    # client API: reads
+    # ------------------------------------------------------------------
+
+    def client_read(self, ctx: ClientContext, key: int) -> Generator:
+        """Process: one client read; returns the value per the DDP model.
+
+        Holds a request worker for the full duration, stalls included.
+        """
+        yield self.request_workers.acquire()
+        try:
+            value = yield from self._do_read(ctx, key)
+        finally:
+            self.request_workers.release()
+        return value
+
+    def _do_read(self, ctx: ClientContext, key: int) -> Generator:
+        yield self.sim.timeout(self.config.req_proc_ns + self._store_read_cost(key))
+        replica = self.replicas.get(key)
+
+        if self.cpolicy.transactional and ctx.txn is not None:
+            self.txn_table.check_access(ctx.txn, key, is_write=False)
+
+        # Consistency stall: Linearizable / Read-Enforced reads wait until
+        # no invalidation is outstanding on the key (all replicas updated,
+        # and — when ACKs also cover persists — persisted).
+        if self.cpolicy.read_stalls_on_transient and replica.transient:
+            self.metrics.read_stalls += 1
+            if self.ppolicy.dual_acks:
+                # Under Read-Enforced persistency the transient state only
+                # clears at VAL_p, so this stall is a read racing a
+                # yet-to-persist write (the conflicts of Section 8.1.2).
+                self.metrics.reads_blocked_by_unpersisted += 1
+            yield replica.condition.wait_for(lambda: not replica.transient)
+
+        # Persistency stall: Read-Enforced persistency forbids reading a
+        # version that is not yet durable.  Under invalidation-based
+        # consistency the signal is cluster-wide (VAL_p); under Causal /
+        # Eventual consistency only local durability is knowable.
+        if self.ppolicy.read_requires_applied_persisted:
+            target = replica.applied_version
+            if self.cpolicy.uses_inv:
+                if replica.cluster_persisted_version < target:
+                    self.metrics.reads_blocked_by_unpersisted += 1
+                    yield replica.condition.wait_for(
+                        lambda: replica.cluster_persisted_version >= target)
+            else:
+                if replica.persisted_version < target:
+                    self.metrics.reads_blocked_by_unpersisted += 1
+                    yield replica.condition.wait_for(
+                        lambda: replica.persisted_version >= target)
+
+        yield from self.memory.volatile_read(key)
+
+        if self.ppolicy.read_returns_persisted and not self.cpolicy.uses_inv:
+            # <Causal/Eventual, Synchronous>: return the latest *persisted*
+            # version so every read value is recoverable (Figure 2(f)).
+            version, value = replica.persisted_version, replica.persisted_value
+        else:
+            version, value = replica.applied_version, replica.applied_value
+        if self.cpolicy.causal:
+            ctx.observe(key, version)
+        ctx.last_read_version = version
+        if self.version_board is not None:
+            self.version_board.score_read(key, version)
+        return value
+
+    # ------------------------------------------------------------------
+    # client API: writes
+    # ------------------------------------------------------------------
+
+    def client_write(self, ctx: ClientContext, key: int, value: Any) -> Generator:
+        """Process: one client write; returns at the model's completion
+        point (e.g. after VALs under <Linearizable, Synchronous>, or
+        immediately after the local update under Causal)."""
+        yield self.request_workers.acquire()
+        try:
+            yield from self._do_write(ctx, key, value)
+        finally:
+            self.request_workers.release()
+
+    def _do_write(self, ctx: ClientContext, key: int, value: Any) -> Generator:
+        yield self.sim.timeout(self.config.req_proc_ns
+                               + self._store_write_cost(key, value))
+        replica = self.replicas.get(key)
+
+        if self.cpolicy.transactional and ctx.txn is not None:
+            self.txn_table.check_access(ctx.txn, key, is_write=True)
+
+        # A coordinator cannot start a write on a key with an outstanding
+        # invalidation (its own or a remote writer's): conflicting writers
+        # serialize (Section 5.2).  The loop re-checks after waking
+        # because another woken writer may have claimed the key first.
+        if self.cpolicy.write_stalls_on_transient:
+            while replica.transient:
+                self.metrics.write_stalls += 1
+                yield replica.condition.wait_for(lambda: not replica.transient)
+
+        version = replica.next_version(self.node_id)
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, "write_issue", node=self.node_id,
+                             key=key, version=version)
+        if self.version_board is not None:
+            self.version_board.note_write(key, version)
+        if self.store is not None:
+            self.store.put(key, value)
+
+        if self.cpolicy.uses_inv:
+            yield from self._write_invalidation(ctx, replica, version, value)
+        else:
+            yield from self._write_update(ctx, replica, version, value)
+
+        if self.cpolicy.causal:
+            ctx.observe(key, version)
+        if self.ppolicy.persist_mode is PersistMode.ON_SCOPE_END:
+            ctx.record_scope_write(key, version)
+
+    # -- invalidation-based consistency (Linearizable / Read-Enf. / Txn) --
+
+    def _write_invalidation(self, ctx: ClientContext, replica: KeyReplica,
+                            version: Version, value: Any) -> Generator:
+        op_id = self._next_op_id()
+        txn = ctx.txn if self.cpolicy.transactional else None
+        txn_id = txn.txn_id if txn is not None else None
+        scope_id = (ctx.current_scope_id
+                    if self.ppolicy.persist_mode is PersistMode.ON_SCOPE_END
+                    else None)
+
+        op = _WriteOp(op_id=op_id, key=replica.key, version=version,
+                      value=value, ack_c=Latch(self.sim, len(self.peer_ids)),
+                      txn_id=txn_id, scope_id=scope_id)
+        if self.ppolicy.dual_acks:
+            op.ack_p = Latch(self.sim, len(self.peer_ids))
+        self._outstanding_writes[op_id] = op
+
+        replica.begin_inv(op_id)
+        yield from self.memory.volatile_update(replica.key,
+                                               self.config.value_bytes)
+        if txn is not None:
+            txn.writes.append((replica.key, version))
+            self._apply_txn_write(replica, version, value)
+        else:
+            replica.apply(version, value)
+
+        self._broadcast(Message(MsgType.INV, src=self.node_id, op_id=op_id,
+                                key=replica.key, version=version, value=value,
+                                scope_id=scope_id, txn_id=txn_id))
+
+        strict = self.ppolicy.write_waits_for_persist_everywhere
+        inline_persist = (self.ppolicy.persist_mode is PersistMode.INLINE
+                          and txn_id is None) or strict
+
+        if self.cpolicy.write_waits_for_acks or strict:
+            # Linearizable (always), or any consistency under Strict:
+            # the write completes only after the full round.  The local
+            # persist overlaps the INV round trip (Figure 2(a)).
+            if inline_persist or self.ppolicy.dual_acks:
+                self._spawn_persist(replica, version, value)
+            elif self.ppolicy.persist_mode is PersistMode.LAZY_BACKGROUND:
+                self._spawn_persist(replica, version, value,
+                                    delay_ns=self.config.lazy_persist_delay_ns)
+            yield op.ack_c.wait()
+            if inline_persist:
+                yield from self._ensure_persisted(replica, version, value)
+            self._finish_invalidation(op, replica)
+            if self.ppolicy.dual_acks:
+                self.sim.process(self._await_cluster_persist(op, replica),
+                                 name=f"n{self.node_id}.valp")
+            return
+
+        # Read-Enforced / Transactional consistency: the client write
+        # completes now; the round finishes in the background.
+        if self.ppolicy.dual_acks:
+            self._spawn_persist(replica, version, value)
+            self.sim.process(self._background_round_dual(op, replica),
+                             name=f"n{self.node_id}.bground")
+        elif txn_id is not None:
+            # Persists (Synchronous) are deferred to ENDX; ACKs collected
+            # so end-of-transaction can confirm every replica updated.
+            # Eventual persistency stays lazy even inside transactions.
+            if self.ppolicy.persist_mode is PersistMode.LAZY_BACKGROUND:
+                self._spawn_persist(replica, version, value,
+                                    delay_ns=self.config.lazy_persist_delay_ns)
+            self.sim.process(self._background_round_txn(op), name="txnround")
+        else:
+            if self.ppolicy.persist_mode is PersistMode.INLINE:
+                self._spawn_persist(replica, version, value)
+            elif self.ppolicy.persist_mode is PersistMode.LAZY_BACKGROUND:
+                self._spawn_persist(replica, version, value,
+                                    delay_ns=self.config.lazy_persist_delay_ns)
+            self.sim.process(self._background_round_simple(op, replica),
+                             name=f"n{self.node_id}.bground")
+
+    def _apply_txn_write(self, replica: KeyReplica, version: Version,
+                         value: Any) -> None:
+        """Install a transactional write with undo support: winners record
+        their pre-image; losers of the last-writer-wins race are absorbed
+        into the winner's pre-image so aborts restore the right state."""
+        if version > replica.applied_version:
+            replica.record_undo(version)
+            replica.apply(version, value)
+        else:
+            replica.absorb_superseded(version, value)
+
+    def _finish_invalidation(self, op: _WriteOp, replica: KeyReplica) -> None:
+        """All ACKs in (and local persist done where required): broadcast
+        the VALidation and clear the local transient state."""
+        val_type = (MsgType.VAL
+                    if self.ppolicy.persist_mode is PersistMode.INLINE
+                    and not self.ppolicy.dual_acks else MsgType.VAL_C)
+        if not self.ppolicy.dual_acks:
+            self._broadcast(Message(val_type, src=self.node_id, op_id=op.op_id,
+                                    key=op.key, version=op.version,
+                                    scope_id=op.scope_id, txn_id=op.txn_id))
+            replica.end_inv(op.op_id)
+            if (self.ppolicy.persist_mode is PersistMode.INLINE
+                    and op.txn_id is None):
+                replica.mark_cluster_persisted(op.version)
+            self._outstanding_writes.pop(op.op_id, None)
+        # Under dual ACKs the (single) validation is VAL_p, sent by
+        # _await_cluster_persist once every replica has persisted.
+
+    def _await_cluster_persist(self, op: _WriteOp, replica: KeyReplica) -> Generator:
+        """Read-Enforced persistency: gather ACK_p from every follower and
+        the local persist, then broadcast VAL_p (Figure 3(a))."""
+        yield op.ack_p.wait()
+        yield from self._ensure_persisted(replica, op.version, op.value)
+        self._broadcast(Message(MsgType.VAL_P, src=self.node_id, op_id=op.op_id,
+                                key=op.key, version=op.version,
+                                txn_id=op.txn_id))
+        replica.mark_cluster_persisted(op.version)
+        replica.end_inv(op.op_id)
+        self._outstanding_writes.pop(op.op_id, None)
+
+    def _background_round_dual(self, op: _WriteOp, replica: KeyReplica) -> Generator:
+        """Read-Enforced consistency + Read-Enforced persistency: collect
+        ACK_c in the background (write already completed), then hand off
+        to the cluster-persist collector."""
+        yield op.ack_c.wait()
+        yield from self._await_cluster_persist(op, replica)
+
+    def _background_round_simple(self, op: _WriteOp, replica: KeyReplica) -> Generator:
+        """Read-Enforced consistency with single-ACK persistency models:
+        collect ACKs, finish local persist if inline, broadcast VAL."""
+        yield op.ack_c.wait()
+        if self.ppolicy.persist_mode is PersistMode.INLINE:
+            yield from self._ensure_persisted(replica, op.version, op.value)
+        self._finish_invalidation(op, replica)
+
+    def _background_round_txn(self, op: _WriteOp) -> Generator:
+        """Transactional write: just collect the per-write ACKs; ENDX
+        consumes them."""
+        yield op.ack_c.wait()
+
+    # -- update-based consistency (Causal / Eventual) ------------------------
+
+    def _write_update(self, ctx: ClientContext, replica: KeyReplica,
+                      version: Version, value: Any) -> Generator:
+        op_id = self._next_op_id()
+        cauhist: Tuple = ()
+        if self.cpolicy.causal:
+            cauhist = ctx.take_dependencies(replica.key, version)
+
+        yield from self.memory.volatile_update(replica.key,
+                                               self.config.value_bytes)
+        replica.apply(version, value)
+
+        strict = self.ppolicy.write_waits_for_persist_everywhere
+        scope_id = (ctx.current_scope_id
+                    if self.ppolicy.persist_mode is PersistMode.ON_SCOPE_END
+                    else None)
+        message = Message(MsgType.UPD, src=self.node_id, op_id=op_id,
+                          key=replica.key, version=version, value=value,
+                          cauhist=cauhist, scope_id=scope_id)
+
+        if strict:
+            # Strict persistency: the write completes only once durable
+            # at every replica, so propagation cannot be lazy.
+            op = _WriteOp(op_id=op_id, key=replica.key, version=version,
+                          value=value, ack_c=Latch(self.sim, 0),
+                          ack_p=Latch(self.sim, len(self.peer_ids)))
+            self._outstanding_writes[op_id] = op
+            self._broadcast(message)
+            yield from self._ensure_persisted(replica, version, value)
+            yield op.ack_p.wait()
+            self._outstanding_writes.pop(op_id, None)
+            return
+
+        if self.cpolicy.lazy_propagation:
+            self._spawn_lazy_broadcast(message)
+        else:
+            self._broadcast(message)
+
+        if self.ppolicy.persist_mode is PersistMode.INLINE:
+            # Synchronous: persist right away (off the client's critical
+            # path, Figure 2(e)); reads return the persisted version.
+            self._spawn_persist(replica, version, value)
+        elif self.ppolicy.persist_mode is PersistMode.EAGER_BACKGROUND:
+            self._spawn_persist(replica, version, value)
+            op = _WriteOp(op_id=op_id, key=replica.key, version=version,
+                          value=value, ack_c=Latch(self.sim, 0),
+                          ack_p=Latch(self.sim, len(self.peer_ids)))
+            self._outstanding_writes[op_id] = op
+            self.sim.process(self._causal_valp_round(op, replica),
+                             name=f"n{self.node_id}.cvalp")
+        elif self.ppolicy.persist_mode is PersistMode.LAZY_BACKGROUND:
+            self._spawn_persist(replica, version, value,
+                                delay_ns=self.config.lazy_persist_delay_ns)
+        # ON_SCOPE_END: nothing now; the scope's Persist call handles it.
+
+    def _spawn_lazy_broadcast(self, message: Message):
+        def runner() -> Generator:
+            yield self.sim.timeout(self.config.lazy_propagation_delay_ns)
+            self._broadcast(message)
+
+        return self.sim.process(runner(), name=f"n{self.node_id}.lazyupd")
+
+    def _causal_valp_round(self, op: _WriteOp, replica: KeyReplica) -> Generator:
+        """<Causal/Eventual, Read-Enforced>: collect ACK_p and announce
+        cluster durability with VAL_p (Figure 3(c))."""
+        yield op.ack_p.wait()
+        yield replica.condition.wait_for(
+            lambda: replica.persisted_version >= op.version)
+        self._broadcast(Message(MsgType.VAL_P, src=self.node_id, op_id=op.op_id,
+                                key=op.key, version=op.version))
+        replica.mark_cluster_persisted(op.version)
+        self._outstanding_writes.pop(op.op_id, None)
+
+    # ------------------------------------------------------------------
+    # client API: transactions
+    # ------------------------------------------------------------------
+
+    def client_begin_txn(self, ctx: ClientContext) -> Generator:
+        """Process: Init-Xaction round (Figure 4): INITX to all followers,
+        who persist the event (under inline persistency) and ACK."""
+        if not self.cpolicy.transactional:
+            raise RuntimeError(f"{self.model} does not support transactions")
+        yield self.request_workers.acquire()
+        try:
+            yield self.sim.timeout(self.config.req_proc_ns)
+            txn = self.txn_table.begin(self.node_id, ctx.client_id)
+            ctx.txn = txn
+            op_id = self._next_op_id()
+            round_op = _RoundOp(op_id, Latch(self.sim, len(self.peer_ids)))
+            self._outstanding_rounds[op_id] = round_op
+            self._broadcast(Message(MsgType.INITX, src=self.node_id,
+                                    op_id=op_id, txn_id=txn.txn_id))
+            if self.ppolicy.persist_mode is PersistMode.INLINE:
+                yield from self.memory.persist(txn.txn_id)
+                self.metrics.persists += 1
+            yield round_op.acks.wait()
+            self._outstanding_rounds.pop(op_id, None)
+        finally:
+            self.request_workers.release()
+
+    def client_end_txn(self, ctx: ClientContext) -> Generator:
+        """Process: End-Xaction round (Figure 4): ENDX to all followers,
+        who complete the transaction's updates in LLC (and NVM under
+        inline persistency) before ACKing; then VAL."""
+        txn = ctx.txn
+        if txn is None:
+            raise RuntimeError("client_end_txn without an open transaction")
+        yield self.request_workers.acquire()
+        try:
+            yield self.sim.timeout(self.config.req_proc_ns)
+            self.txn_table.check_still_alive(txn)
+            op_id = self._next_op_id()
+            round_op = _RoundOp(op_id, Latch(self.sim, len(self.peer_ids)))
+            self._outstanding_rounds[op_id] = round_op
+            payload = tuple(txn.writes)
+            self._broadcast(Message(MsgType.ENDX, src=self.node_id,
+                                    op_id=op_id, txn_id=txn.txn_id,
+                                    payload=payload))
+            if self.ppolicy.persist_mode is PersistMode.INLINE:
+                yield from self._persist_many(payload)
+            elif self.ppolicy.persist_mode is PersistMode.EAGER_BACKGROUND:
+                for key, version in payload:
+                    replica = self.replicas.get(key)
+                    self._spawn_persist(replica, version, replica.applied_value)
+            yield round_op.acks.wait()
+            self._outstanding_rounds.pop(op_id, None)
+            self.txn_table.commit(txn)
+            self.metrics.txn_commits += 1
+            self._broadcast(Message(MsgType.VAL, src=self.node_id, op_id=op_id,
+                                    txn_id=txn.txn_id, payload=payload))
+            for key, version in payload:
+                self.replicas.get(key).commit_undo(version)
+            self._clear_txn_invs(txn.txn_id, payload)
+            ctx.txn = None
+        finally:
+            # On a conflict, ctx.txn stays set so the client's abort path
+            # can broadcast the squash to the followers.
+            self.request_workers.release()
+
+    def client_abort_txn(self, ctx: ClientContext) -> Generator:
+        """Process: squash the open transaction.  Followers learn via a
+        VAL carrying the abort's txn id (clearing transient state); the
+        conflict winner's retry will overwrite any applied values."""
+        txn = ctx.txn
+        if txn is None:
+            return
+        yield self.request_workers.acquire()
+        try:
+            yield self.sim.timeout(self.config.req_proc_ns)
+            if not txn.aborted:
+                self.txn_table.abort(txn)
+            self.metrics.txn_aborts += 1
+            payload = tuple(txn.writes)
+            op_id = self._next_op_id()
+            self._broadcast(Message(MsgType.VAL, src=self.node_id, op_id=op_id,
+                                    txn_id=txn.txn_id, payload=payload,
+                                    abort=True))
+            for key, version in payload:
+                replica = self.replicas.get(key)
+                replica.revert(version)
+                if self.store is not None:
+                    self.store.put(key, replica.applied_value)
+            if self.ppolicy.persist_mode is PersistMode.ON_SCOPE_END:
+                # Squashed writes must not be waited on at scope persist.
+                reverted = set(payload)
+                ctx.scope_writes = [w for w in ctx.scope_writes
+                                    if w not in reverted]
+            self._clear_txn_invs(txn.txn_id, payload)
+        finally:
+            ctx.txn = None
+            self.request_workers.release()
+
+    def _persist_many(self, pairs: Tuple[Tuple[int, Version], ...]) -> Generator:
+        """Process: persist several (key, version) pairs concurrently and
+        wait for all of them."""
+        procs = []
+        for key, version in pairs:
+            replica = self.replicas.get(key)
+            value = replica.applied_value
+            procs.append(self.sim.process(
+                self._ensure_persisted(replica, version, value),
+                name=f"n{self.node_id}.pmany"))
+        if procs:
+            yield self.sim.all_of(procs)
+
+    def _clear_txn_invs(self, txn_id: int, payload) -> None:
+        """Coordinator side: clear its own transient markers for the
+        transaction's writes (followers clear on the VAL message).
+
+        Under dual ACKs the per-write VAL_p rounds own the cleanup (they
+        still need the followers' ACK_p), so they are left alone here.
+        """
+        if self.ppolicy.dual_acks:
+            return
+        for op_id, op in list(self._outstanding_writes.items()):
+            if op.txn_id == txn_id:
+                self.replicas.get(op.key).end_inv(op_id)
+                self._outstanding_writes.pop(op_id, None)
+
+    # ------------------------------------------------------------------
+    # client API: scopes
+    # ------------------------------------------------------------------
+
+    def client_persist_scope(self, ctx: ClientContext) -> Generator:
+        """Process: the Persist call for the client's current scope
+        (Figure 5): PERSIST to all followers, who persist every write of
+        the scope and ACK_p; then VAL_p and completion."""
+        if self.ppolicy.persist_mode is not PersistMode.ON_SCOPE_END:
+            raise RuntimeError(f"{self.model} does not use scopes")
+        scope_id, writes = ctx.close_scope()
+        if not writes:
+            return
+        yield self.request_workers.acquire()
+        try:
+            yield self.sim.timeout(self.config.req_proc_ns)
+            op_id = self._next_op_id()
+            round_op = _RoundOp(op_id, Latch(self.sim, len(self.peer_ids)))
+            self._outstanding_rounds[op_id] = round_op
+            payload = tuple(writes)
+            self._broadcast(Message(MsgType.PERSIST, src=self.node_id,
+                                    op_id=op_id, scope_id=scope_id,
+                                    payload=payload))
+            yield from self._persist_scope_local(scope_id, payload)
+            yield round_op.acks.wait()
+            self._outstanding_rounds.pop(op_id, None)
+            self._broadcast(Message(MsgType.VAL_P, src=self.node_id,
+                                    op_id=op_id, scope_id=scope_id,
+                                    payload=payload))
+            for key, version in payload:
+                self.replicas.get(key).mark_cluster_persisted(version)
+        finally:
+            self.request_workers.release()
+
+    def _persist_scope_local(self, scope_id: int, payload) -> Generator:
+        procs = []
+        for key, version in payload:
+            replica = self.replicas.get(key)
+            procs.append(self.sim.process(
+                self._scope_persist_one(replica, version, scope_id),
+                name=f"n{self.node_id}.scopep"))
+        if procs:
+            yield self.sim.all_of(procs)
+        if self.nvm_log is not None:
+            self.nvm_log.commit_scope(self.node_id, scope_id)
+
+    def _scope_persist_one(self, replica: KeyReplica, version: Version,
+                           scope_id: int) -> Generator:
+        # The update must have been applied locally before it can persist.
+        yield replica.condition.wait_for(
+            lambda: replica.applied_version >= version)
+        value = replica.applied_value
+        yield from self._ensure_persisted(replica, version, value, scope_id)
+
+    # ------------------------------------------------------------------
+    # follower message handlers
+    # ------------------------------------------------------------------
+
+    def _handle_message(self, message: Message) -> Generator:
+        yield from self._charge_protocol_cpu()
+        handler = {
+            MsgType.INV: self._on_inv,
+            MsgType.UPD: self._on_upd,
+            MsgType.ACK: self._on_ack_c,
+            MsgType.ACK_C: self._on_ack_c,
+            MsgType.ACK_P: self._on_ack_p,
+            MsgType.VAL: self._on_val,
+            MsgType.VAL_C: self._on_val,
+            MsgType.VAL_P: self._on_val_p,
+            MsgType.INITX: self._on_initx,
+            MsgType.ENDX: self._on_endx,
+            MsgType.PERSIST: self._on_persist,
+        }[message.msg_type]
+        yield from handler(message)
+
+    # -- invalidation path ------------------------------------------------------
+
+    def _on_inv(self, message: Message) -> Generator:
+        replica = self.replicas.get(message.key)
+        replica.begin_inv(message.op_id)
+        if message.txn_id is not None:
+            self._txn_invs.setdefault(message.txn_id, []).append(
+                (message.key, message.op_id))
+        yield from self.memory.volatile_update(message.key,
+                                               self.config.value_bytes,
+                                               via_ddio=True)
+        if message.txn_id is not None:
+            self._apply_txn_write(replica, message.version, message.value)
+        elif not replica.apply(message.version, message.value):
+            replica.absorb_superseded(message.version, message.value)
+        self.memory.consume_ddio(self.config.value_bytes)
+        if self.store is not None:
+            self.store.put(message.key, message.value)
+
+        strict = self.ppolicy.write_waits_for_persist_everywhere
+        inline = (self.ppolicy.persist_mode is PersistMode.INLINE
+                  and message.txn_id is None) or strict
+        if inline:
+            # Synchronous/Strict: persist before acknowledging (Fig. 2(b)).
+            yield from self._ensure_persisted(replica, message.version,
+                                              message.value)
+            self._send(message.src, Message(MsgType.ACK, src=self.node_id,
+                                            op_id=message.op_id,
+                                            key=message.key,
+                                            version=message.version))
+            return
+
+        self._send(message.src, Message(MsgType.ACK_C, src=self.node_id,
+                                        op_id=message.op_id, key=message.key,
+                                        version=message.version))
+        if self.ppolicy.dual_acks:
+            self.sim.process(
+                self._persist_then_ack_p(replica, message),
+                name=f"n{self.node_id}.ackp")
+        elif self.ppolicy.persist_mode is PersistMode.LAZY_BACKGROUND:
+            self._spawn_persist(replica, message.version, message.value,
+                                delay_ns=self.config.lazy_persist_delay_ns)
+        # INLINE within a transaction: persist deferred to ENDX.
+        # ON_SCOPE_END: persist deferred to the PERSIST message.
+
+    def _persist_then_ack_p(self, replica: KeyReplica, message: Message) -> Generator:
+        yield from self._ensure_persisted(replica, message.version, message.value)
+        self._send(message.src, Message(MsgType.ACK_P, src=self.node_id,
+                                        op_id=message.op_id, key=message.key,
+                                        version=message.version))
+
+    def _on_val(self, message: Message) -> Generator:
+        if message.txn_id is not None and message.key is None:
+            # Post-ENDX (or abort) VAL: settle the transaction's writes
+            # and clear all its INVs.
+            for key, version in message.payload:
+                replica = self.replicas.get(key)
+                if message.abort:
+                    replica.revert(version)
+                    if self.store is not None:
+                        self.store.put(key, replica.applied_value)
+                else:
+                    replica.commit_undo(version)
+            for key, op_id in self._txn_invs.pop(message.txn_id, []):
+                self.replicas.get(key).end_inv(op_id)
+            return
+        replica = self.replicas.get(message.key)
+        if (self.ppolicy.persist_mode is PersistMode.INLINE
+                and message.txn_id is None and message.version is not None):
+            # A combined VAL also announces cluster-wide durability.
+            replica.mark_cluster_persisted(message.version)
+        replica.end_inv(message.op_id)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _on_val_p(self, message: Message) -> Generator:
+        if message.payload:
+            for key, version in message.payload:
+                self.replicas.get(key).mark_cluster_persisted(version)
+        if message.key is not None:
+            replica = self.replicas.get(message.key)
+            replica.mark_cluster_persisted(message.version)
+            replica.end_inv(message.op_id)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _on_ack_c(self, message: Message) -> Generator:
+        op = self._outstanding_writes.get(message.op_id)
+        if op is not None:
+            op.ack_c.arrive()
+            return
+        round_op = self._outstanding_rounds.get(message.op_id)
+        if round_op is not None:
+            round_op.acks.arrive()
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _on_ack_p(self, message: Message) -> Generator:
+        op = self._outstanding_writes.get(message.op_id)
+        if op is not None and op.ack_p is not None:
+            op.ack_p.arrive()
+            return
+        round_op = self._outstanding_rounds.get(message.op_id)
+        if round_op is not None:
+            round_op.acks.arrive()
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # -- update path (Causal / Eventual) ----------------------------------------
+
+    def _on_upd(self, message: Message) -> Generator:
+        replica = self.replicas.get(message.key)
+        strict = self.ppolicy.write_waits_for_persist_everywhere
+        if strict:
+            # Strict: durability is immediate and independent of
+            # visibility ordering (the update may persist before the
+            # volatile replica is updated).
+            self.sim.process(self._persist_then_ack_p(replica, message),
+                             name=f"n{self.node_id}.strictp")
+        if self.cpolicy.causal:
+            unmet = self._first_unmet_dep(message.cauhist)
+            if unmet is not None:
+                self._buffer_causal(unmet, message)
+                return
+        yield from self._apply_update(message)
+        if self.cpolicy.causal:
+            yield from self._recheck_causal_waiters(message.key)
+
+    def _first_unmet_dep(self, cauhist) -> Optional[int]:
+        """The key of one not-yet-visible dependency, or None if all are
+        satisfied.  Under Synchronous persistency a dependency is only
+        satisfied once persisted (Figure 2(f))."""
+        for dep_key, dep_version in cauhist:
+            replica = self.replicas.get(dep_key)
+            if replica.applied_version < dep_version:
+                return dep_key
+            if (self.ppolicy.deps_require_persist
+                    and replica.persisted_version < dep_version):
+                return dep_key
+        return None
+
+    def _buffer_causal(self, unmet_key: int, message: Message) -> None:
+        self._causal_waiting.setdefault(unmet_key, []).append(message)
+        self._causal_waiting_count += 1
+        self.metrics.note_causal_buffer(self._causal_waiting_count)
+
+    def _recheck_causal_waiters(self, key: int) -> Generator:
+        """A version of ``key`` advanced: re-check the updates waiting on
+        it; apply the now-satisfiable ones, chasing unlock chains."""
+        work = [key]
+        while work:
+            advanced_key = work.pop()
+            waiters = self._causal_waiting.pop(advanced_key, None)
+            if not waiters:
+                continue
+            self._causal_waiting_count -= len(waiters)
+            for message in waiters:
+                unmet = self._first_unmet_dep(message.cauhist)
+                if unmet is not None:
+                    self._buffer_causal(unmet, message)
+                    continue
+                yield from self._apply_update(message)
+                work.append(message.key)
+
+    def _apply_update(self, message: Message) -> Generator:
+        replica = self.replicas.get(message.key)
+        yield from self.memory.volatile_update(message.key,
+                                               self.config.value_bytes,
+                                               via_ddio=True)
+        replica.apply(message.version, message.value)
+        self.memory.consume_ddio(self.config.value_bytes)
+        if self.store is not None:
+            self.store.put(message.key, message.value)
+
+        mode = self.ppolicy.persist_mode
+        strict = self.ppolicy.write_waits_for_persist_everywhere
+        if strict:
+            pass  # persist + ACK_p already launched on receipt
+        elif mode is PersistMode.INLINE:
+            # Synchronous: persist at the visibility point (Fig. 2(f)).
+            yield from self._ensure_persisted(replica, message.version,
+                                              message.value)
+        elif mode is PersistMode.EAGER_BACKGROUND:
+            self.sim.process(self._persist_then_ack_p(replica, message),
+                             name=f"n{self.node_id}.ackp")
+        elif mode is PersistMode.LAZY_BACKGROUND:
+            self._spawn_persist(replica, message.version, message.value,
+                                delay_ns=self.config.lazy_persist_delay_ns)
+        # ON_SCOPE_END: wait for the PERSIST message.
+
+    # -- transaction rounds -------------------------------------------------------
+
+    def _on_initx(self, message: Message) -> Generator:
+        if self.ppolicy.persist_mode is PersistMode.INLINE:
+            # Persist the transaction-begin event (Figure 4(b)).
+            yield from self.memory.persist(message.txn_id)
+            self.metrics.persists += 1
+        self._send(message.src, Message(MsgType.ACK, src=self.node_id,
+                                        op_id=message.op_id,
+                                        txn_id=message.txn_id))
+
+    def _on_endx(self, message: Message) -> Generator:
+        # All the transaction's updates must be applied locally...
+        waits = []
+        for key, version in message.payload:
+            replica = self.replicas.get(key)
+            waits.append(replica.condition.wait_for(
+                _applied_at_least(replica, version)))
+        if waits:
+            yield self.sim.all_of(waits)
+        # ... and durable, under inline persistency (Figure 4(b)).
+        if self.ppolicy.persist_mode is PersistMode.INLINE:
+            yield from self._persist_many(message.payload)
+        elif self.ppolicy.persist_mode is PersistMode.EAGER_BACKGROUND:
+            for key, version in message.payload:
+                replica = self.replicas.get(key)
+                self._spawn_persist(replica, version, replica.applied_value)
+        self._send(message.src, Message(MsgType.ACK, src=self.node_id,
+                                        op_id=message.op_id,
+                                        txn_id=message.txn_id))
+
+    # -- scope rounds -----------------------------------------------------------------
+
+    def _on_persist(self, message: Message) -> Generator:
+        yield from self._persist_scope_local(message.scope_id, message.payload)
+        self._send(message.src, Message(MsgType.ACK_P, src=self.node_id,
+                                        op_id=message.op_id,
+                                        scope_id=message.scope_id))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def causal_buffer_len(self) -> int:
+        return self._causal_waiting_count
+
+    @property
+    def outstanding_write_count(self) -> int:
+        return len(self._outstanding_writes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ProtocolNode(node={self.node_id}, model={self.model}, "
+                f"keys={len(self.replicas)})")
+
+
+def _applied_at_least(replica: KeyReplica, version: Version):
+    """Predicate factory (avoids late-binding bugs in loops)."""
+    return lambda: replica.applied_version >= version

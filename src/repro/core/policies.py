@@ -1,0 +1,199 @@
+"""Behavioral policies for consistency and persistency models.
+
+The protocol engine (:mod:`repro.core.engine`) is one parameterized
+state machine; these policy objects encode how each of the paper's
+models shapes it (Sections 4-5):
+
+Consistency policies decide *message flow* (invalidation rounds vs lazy
+updates), *write completion* (when the client is acknowledged with
+respect to replica visibility), and *read visibility stalls*.
+
+Persistency policies decide *when persists happen* (inline at apply,
+eagerly in background, lazily, or at scope ends), *write completion with
+respect to durability* (Strict stalls writes until persisted
+everywhere), and *read durability stalls* (Read-Enforced persistency
+stalls reads; Synchronous makes reads return the persisted version).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.model import Consistency, DdpModel, Persistency
+
+__all__ = [
+    "PersistMode",
+    "ConsistencyPolicy",
+    "PersistencyPolicy",
+    "policy_for",
+    "CONSISTENCY_POLICIES",
+    "PERSISTENCY_POLICIES",
+]
+
+
+class PersistMode(enum.Enum):
+    """When a replica pushes an update into NVM."""
+
+    INLINE = "inline"          # at apply time, before acknowledging (Strict/Sync)
+    EAGER_BACKGROUND = "eager"  # immediately, off the critical path (Read-Enf.)
+    LAZY_BACKGROUND = "lazy"    # after a lazy delay (Eventual)
+    ON_SCOPE_END = "scope"      # only when the scope's Persist call arrives
+
+
+@dataclass(frozen=True)
+class ConsistencyPolicy:
+    """How a consistency model shapes the protocol."""
+
+    model: Consistency
+    uses_inv: bool
+    """INV/ACK/VAL rounds (Linearizable, Read-Enforced, Transactional)
+    versus lazy UPD propagation (Causal, Eventual)."""
+
+    write_waits_for_acks: bool
+    """Client write completion waits for all follower ACKs (Linearizable
+    only; Read-Enforced/Transactional complete after the local update and
+    broadcast)."""
+
+    read_stalls_on_transient: bool
+    """Reads stall while the key has un-VALidated invalidations
+    (Linearizable and Read-Enforced consistency)."""
+
+    write_stalls_on_transient: bool
+    """A new write to a transient key waits for the outstanding write to
+    validate first (serializing conflicting writers, as the Hermes-style
+    coordinator cannot process another request for the key mid-write)."""
+
+    transactional: bool = False
+    causal: bool = False
+    lazy_propagation: bool = False
+    """Eventual consistency: UPDs are sent after a lazy delay."""
+
+
+@dataclass(frozen=True)
+class PersistencyPolicy:
+    """How a persistency model shapes the protocol."""
+
+    model: Persistency
+    persist_mode: PersistMode
+
+    write_waits_for_persist_everywhere: bool
+    """Strict: the client write does not complete until the update is
+    durable in the NVM of every replica node."""
+
+    read_requires_applied_persisted: bool
+    """Read-Enforced persistency: a read stalls until the latest visible
+    version of the key is persisted (cluster-wide where the protocol has
+    that information, i.e. VAL_p under invalidation-based consistency;
+    locally under Causal/Eventual, where no global signal exists)."""
+
+    read_returns_persisted: bool
+    """Synchronous persistency under weak consistency: reads return the
+    latest *persisted* version so that every read value is recoverable
+    (paper Figure 2(f))."""
+
+    dual_acks: bool
+    """Decouple ACK_c from ACK_p (Read-Enforced persistency under
+    invalidation-based consistency, paper Figure 3(a))."""
+
+    deps_require_persist: bool
+    """Causal consistency: a buffered update's dependency counts as
+    satisfied only once the dependency is persisted (Synchronous), not
+    merely applied."""
+
+
+CONSISTENCY_POLICIES = {
+    Consistency.LINEARIZABLE: ConsistencyPolicy(
+        model=Consistency.LINEARIZABLE,
+        uses_inv=True,
+        write_waits_for_acks=True,
+        read_stalls_on_transient=True,
+        write_stalls_on_transient=True,
+    ),
+    Consistency.READ_ENFORCED: ConsistencyPolicy(
+        model=Consistency.READ_ENFORCED,
+        uses_inv=True,
+        write_waits_for_acks=False,
+        read_stalls_on_transient=True,
+        write_stalls_on_transient=True,
+    ),
+    Consistency.TRANSACTIONAL: ConsistencyPolicy(
+        model=Consistency.TRANSACTIONAL,
+        uses_inv=True,
+        write_waits_for_acks=False,
+        read_stalls_on_transient=False,
+        write_stalls_on_transient=False,
+        transactional=True,
+    ),
+    Consistency.CAUSAL: ConsistencyPolicy(
+        model=Consistency.CAUSAL,
+        uses_inv=False,
+        write_waits_for_acks=False,
+        read_stalls_on_transient=False,
+        write_stalls_on_transient=False,
+        causal=True,
+    ),
+    Consistency.EVENTUAL: ConsistencyPolicy(
+        model=Consistency.EVENTUAL,
+        uses_inv=False,
+        write_waits_for_acks=False,
+        read_stalls_on_transient=False,
+        write_stalls_on_transient=False,
+        lazy_propagation=True,
+    ),
+}
+
+
+PERSISTENCY_POLICIES = {
+    Persistency.STRICT: PersistencyPolicy(
+        model=Persistency.STRICT,
+        persist_mode=PersistMode.INLINE,
+        write_waits_for_persist_everywhere=True,
+        read_requires_applied_persisted=False,
+        read_returns_persisted=False,
+        dual_acks=False,
+        deps_require_persist=True,
+    ),
+    Persistency.SYNCHRONOUS: PersistencyPolicy(
+        model=Persistency.SYNCHRONOUS,
+        persist_mode=PersistMode.INLINE,
+        write_waits_for_persist_everywhere=False,
+        read_requires_applied_persisted=False,
+        read_returns_persisted=True,
+        dual_acks=False,
+        deps_require_persist=True,
+    ),
+    Persistency.READ_ENFORCED: PersistencyPolicy(
+        model=Persistency.READ_ENFORCED,
+        persist_mode=PersistMode.EAGER_BACKGROUND,
+        write_waits_for_persist_everywhere=False,
+        read_requires_applied_persisted=True,
+        read_returns_persisted=False,
+        dual_acks=True,
+        deps_require_persist=False,
+    ),
+    Persistency.SCOPE: PersistencyPolicy(
+        model=Persistency.SCOPE,
+        persist_mode=PersistMode.ON_SCOPE_END,
+        write_waits_for_persist_everywhere=False,
+        read_requires_applied_persisted=False,
+        read_returns_persisted=False,
+        dual_acks=False,
+        deps_require_persist=False,
+    ),
+    Persistency.EVENTUAL: PersistencyPolicy(
+        model=Persistency.EVENTUAL,
+        persist_mode=PersistMode.LAZY_BACKGROUND,
+        write_waits_for_persist_everywhere=False,
+        read_requires_applied_persisted=False,
+        read_returns_persisted=False,
+        dual_acks=False,
+        deps_require_persist=False,
+    ),
+}
+
+
+def policy_for(model: DdpModel):
+    """Return the ``(ConsistencyPolicy, PersistencyPolicy)`` pair."""
+    return (CONSISTENCY_POLICIES[model.consistency],
+            PERSISTENCY_POLICIES[model.persistency])

@@ -1,0 +1,188 @@
+"""Per-key replica state kept by every node.
+
+Every node holds a replica of every key (full replication, as in Hermes
+and the paper).  For each key a node tracks:
+
+* the *visible* version/value (what a read may return, subject to the
+  DDP model's stall rules),
+* the *persisted* version (highest version durable in local NVM),
+* in-flight invalidations (INV received but VAL not yet seen), which
+  make the key *transient* under invalidation-based consistency models,
+* buffered causal updates waiting for their happens-before history.
+
+Versions are Lamport-style ``(seq, node_id)`` tuples: ``seq`` is one
+more than the highest sequence the coordinator has seen for the key, and
+``node_id`` breaks ties, giving all nodes the same total order over
+concurrent writes to a key (as in Hermes' logical timestamps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.sync import Condition
+
+__all__ = ["Version", "ZERO_VERSION", "KeyReplica", "ReplicaTable"]
+
+Version = Tuple[int, int]
+ZERO_VERSION: Version = (0, -1)
+
+
+class KeyReplica:
+    """State of one key at one node."""
+
+    __slots__ = (
+        "key", "persisted_version", "persisted_value",
+        "cluster_persisted_version", "applied_version", "applied_value",
+        "inflight_invs", "condition", "persist_requested",
+        "persist_target", "persist_active", "txn_undo", "observer",
+    )
+
+    def __init__(self, sim: Simulator, key: int, observer=None):
+        self.key = key
+        # Optional callback ``observer(kind, key, version)`` fired on
+        # "apply" and "persist" advances — the hook the VP/DP measurement
+        # (repro.analysis.points) attaches to.
+        self.observer = observer
+        # Highest version applied to the local volatile hierarchy — "the
+        # latest version in the volatile memory hierarchy" reads return
+        # (subject to the DDP model's stall and value-selection rules).
+        self.applied_version: Version = ZERO_VERSION
+        self.applied_value: Any = None
+        # Highest version durable in *local* NVM, and its value (reads
+        # under <Causal/Eventual, Synchronous> return this).
+        self.persisted_version: Version = ZERO_VERSION
+        self.persisted_value: Any = None
+        # Highest version known durable at *all* replicas (learned from
+        # VAL_p under Read-Enforced persistency).
+        self.cluster_persisted_version: Version = ZERO_VERSION
+        # op_ids of INVs applied but not yet VALidated (key is transient).
+        self.inflight_invs: Set[int] = set()
+        # Wakes read/write stalls when any of the above changes.
+        self.condition = Condition(sim, name=f"key{key}")
+        # Persist write-combining state: the highest version ever asked to
+        # persist, the latest not-yet-started (version, value) target (the
+        # memory controller's write-pending slot for this key), and
+        # whether a persist loop is currently draining this key.
+        self.persist_requested: Version = ZERO_VERSION
+        self.persist_target: Optional[Tuple[Version, Any]] = None
+        self.persist_active = False
+        # Pre-images of in-flight transactional writes, keyed by the
+        # writing version, so a squashed transaction can be undone
+        # ("if the Xaction fails, none of the updates are performed").
+        self.txn_undo: Dict[Version, Tuple[Version, Any]] = {}
+
+    # -- state transitions -----------------------------------------------------
+
+    def next_version(self, node_id: int) -> Version:
+        """Allocate the version for a new local write of this key."""
+        return (self.applied_version[0] + 1, node_id)
+
+    def apply(self, version: Version, value: Any) -> bool:
+        """Install an update into the volatile hierarchy.
+
+        Returns True if the update advanced the applied version (older
+        updates arriving late are ignored, last-writer-wins).
+        """
+        if version <= self.applied_version:
+            return False
+        self.applied_version = version
+        self.applied_value = value
+        self.condition.notify()
+        if self.observer is not None:
+            self.observer("apply", self.key, version)
+        return True
+
+    def mark_persisted(self, version: Version, value: Any) -> bool:
+        """Record that ``version`` is durable in local NVM."""
+        if version <= self.persisted_version:
+            return False
+        self.persisted_version = version
+        self.persisted_value = value
+        self.condition.notify()
+        if self.observer is not None:
+            self.observer("persist", self.key, version)
+        return True
+
+    def mark_cluster_persisted(self, version: Version) -> bool:
+        """Record that ``version`` is durable at every replica node."""
+        if version <= self.cluster_persisted_version:
+            return False
+        self.cluster_persisted_version = version
+        self.condition.notify()
+        return True
+
+    def record_undo(self, version: Version) -> None:
+        """Snapshot the pre-image before a transactional write applies."""
+        self.txn_undo[version] = (self.applied_version, self.applied_value)
+
+    def commit_undo(self, version: Version) -> None:
+        """The write's transaction committed; the pre-image is obsolete."""
+        self.txn_undo.pop(version, None)
+
+    def absorb_superseded(self, version: Version, value: Any) -> None:
+        """A write lost the last-writer-wins race against a pending
+        transactional write: fold it into that write's pre-image, so a
+        later abort restores the *newest* superseded state instead of
+        resurrecting an older one."""
+        pre_image = self.txn_undo.get(self.applied_version)
+        if pre_image is not None and pre_image[0] < version:
+            self.txn_undo[self.applied_version] = (version, value)
+
+    def revert(self, version: Version) -> bool:
+        """Undo a squashed transactional write, if still in effect."""
+        pre_image = self.txn_undo.pop(version, None)
+        if pre_image is None or self.applied_version != version:
+            return False
+        self.applied_version, self.applied_value = pre_image
+        self.condition.notify()
+        return True
+
+    def begin_inv(self, op_id: int) -> None:
+        self.inflight_invs.add(op_id)
+
+    def end_inv(self, op_id: int) -> None:
+        self.inflight_invs.discard(op_id)
+        self.condition.notify()
+
+    @property
+    def transient(self) -> bool:
+        """True while any invalidation is outstanding on this key."""
+        return bool(self.inflight_invs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"KeyReplica(key={self.key}, visible={self.visible_version}, "
+                f"applied={self.applied_version}, "
+                f"persisted={self.persisted_version}, "
+                f"transient={self.transient})")
+
+
+class ReplicaTable:
+    """All key replicas at one node, created lazily."""
+
+    def __init__(self, sim: Simulator, node_id: int, observer=None):
+        self.sim = sim
+        self.node_id = node_id
+        self.observer = observer
+        self._replicas: Dict[int, KeyReplica] = {}
+
+    def get(self, key: int) -> KeyReplica:
+        replica = self._replicas.get(key)
+        if replica is None:
+            replica = KeyReplica(self.sim, key, observer=self.observer)
+            self._replicas[key] = replica
+        return replica
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._replicas
+
+    def __iter__(self):
+        return iter(self._replicas.values())
+
+    def __len__(self) -> int:
+        return len(self._replicas)
+
+    def keys(self) -> List[int]:
+        return list(self._replicas)

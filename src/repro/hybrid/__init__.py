@@ -1,0 +1,7 @@
+"""Hybrid deployments: strong consistency locally, Eventual across
+datacenters (paper Section 9)."""
+
+from repro.hybrid.cluster import HybridCluster
+from repro.hybrid.engine import HybridProtocolNode
+
+__all__ = ["HybridCluster", "HybridProtocolNode"]

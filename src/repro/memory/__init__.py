@@ -1,0 +1,26 @@
+"""Memory substrate: DRAM/NVM devices, cache hierarchy, per-node facade."""
+
+from repro.memory.cache import CacheHierarchy, CacheLevel, CacheTiming, Llc
+from repro.memory.devices import (
+    DRAM_TIMING,
+    NVM_TIMING,
+    DramDevice,
+    MemoryDevice,
+    MemoryTiming,
+    NvmDevice,
+)
+from repro.memory.hierarchy import MemoryHierarchy
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLevel",
+    "CacheTiming",
+    "DRAM_TIMING",
+    "DramDevice",
+    "Llc",
+    "MemoryDevice",
+    "MemoryHierarchy",
+    "MemoryTiming",
+    "NVM_TIMING",
+    "NvmDevice",
+]

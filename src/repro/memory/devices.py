@@ -1,0 +1,121 @@
+"""Memory device models: DRAM and NVM.
+
+Both devices are modeled as a set of independently-queued banks spread
+over channels (Table 5 of the paper: DRAM has 4 channels x 8 banks at
+100 ns round trip; NVM has 2 channels x 8 banks at 140 ns read / 400 ns
+write round trip).  An access hashes its address to a bank and queues
+there; contention on NVM banks is what produces the paper's "NVM
+pressure" effect, where outstanding persists delay later persists and
+the reads that wait on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List
+
+from repro.sim.engine import Simulator
+from repro.sim.sync import Resource
+
+__all__ = ["MemoryTiming", "MemoryDevice", "DramDevice", "NvmDevice"]
+
+
+@dataclass(frozen=True)
+class MemoryTiming:
+    """Per-device service times, in nanoseconds (round trip)."""
+
+    read_ns: float
+    write_ns: float
+    channels: int
+    banks_per_channel: int
+
+    @property
+    def total_banks(self) -> int:
+        return self.channels * self.banks_per_channel
+
+
+DRAM_TIMING = MemoryTiming(read_ns=100.0, write_ns=100.0, channels=4, banks_per_channel=8)
+NVM_TIMING = MemoryTiming(read_ns=140.0, write_ns=400.0, channels=2, banks_per_channel=8)
+
+
+class MemoryDevice:
+    """A banked memory device with per-bank FIFO queueing.
+
+    Accesses are processes: ``yield from device.read(address)`` holds the
+    target bank for the service time.  Statistics expose total accesses
+    and time-integrated queue occupancy for pressure analysis.
+    """
+
+    def __init__(self, sim: Simulator, timing: MemoryTiming, name: str = "mem"):
+        self.sim = sim
+        self.timing = timing
+        self.name = name
+        self._banks: List[Resource] = [
+            Resource(sim, capacity=1, name=f"{name}.bank{i}")
+            for i in range(timing.total_banks)
+        ]
+        self.reads = 0
+        self.writes = 0
+        self.busy_ns = 0.0
+        self.queued_ns = 0.0
+
+    def _bank_for(self, address: int) -> Resource:
+        return self._banks[hash(address) % len(self._banks)]
+
+    def _access(self, address: int, service_ns: float) -> Generator:
+        bank = self._bank_for(address)
+        enqueue_time = self.sim.now
+        yield bank.acquire()
+        self.queued_ns += self.sim.now - enqueue_time
+        try:
+            yield self.sim.timeout(service_ns)
+            self.busy_ns += service_ns
+        finally:
+            bank.release()
+
+    def read(self, address: int) -> Generator:
+        """Process: perform a read access to ``address``."""
+        self.reads += 1
+        yield from self._access(address, self.timing.read_ns)
+
+    def write(self, address: int) -> Generator:
+        """Process: perform a write access to ``address``."""
+        self.writes += 1
+        yield from self._access(address, self.timing.write_ns)
+
+    @property
+    def outstanding(self) -> int:
+        """Accesses currently queued or in service across all banks."""
+        return sum(b.in_use + b.queue_len for b in self._banks)
+
+    @property
+    def peak_queue_len(self) -> int:
+        return max(b.peak_queue_len for b in self._banks)
+
+
+class DramDevice(MemoryDevice):
+    """DRAM with the paper's Table 5 timing (100 ns symmetric)."""
+
+    def __init__(self, sim: Simulator, timing: MemoryTiming = DRAM_TIMING,
+                 name: str = "dram"):
+        super().__init__(sim, timing, name)
+
+
+class NvmDevice(MemoryDevice):
+    """NVM with the paper's Table 5 timing (140 ns read / 400 ns write).
+
+    ``persist`` is the operation the persistency models care about: a
+    durable write of one update.  It is an alias of ``write`` plus a
+    persist counter, kept separate so benchmarks can report persist
+    traffic independently of ordinary NVM reads/writes.
+    """
+
+    def __init__(self, sim: Simulator, timing: MemoryTiming = NVM_TIMING,
+                 name: str = "nvm"):
+        super().__init__(sim, timing, name)
+        self.persists = 0
+
+    def persist(self, address: int) -> Generator:
+        """Process: durably write ``address`` (queues at its bank)."""
+        self.persists += 1
+        yield from self._access(address, self.timing.write_ns)

@@ -1,0 +1,78 @@
+"""Per-node memory hierarchy: caches + DRAM + NVM as one facade.
+
+:class:`MemoryHierarchy` is what a :class:`repro.cluster.node.Node` owns.
+The protocol engine uses three operations:
+
+* ``volatile_update`` — apply an update to the volatile hierarchy
+  (LLC via DDIO for NIC-delivered payloads, or a cache access for
+  locally-produced writes).
+* ``volatile_read`` — read a key from the volatile hierarchy.
+* ``persist`` — durably write an update to NVM (queues at NVM banks).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.memory.cache import CacheHierarchy
+from repro.memory.devices import DramDevice, MemoryTiming, NvmDevice
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededStream
+
+__all__ = ["MemoryHierarchy"]
+
+
+class MemoryHierarchy:
+    """One server's memory system (Figure 1 of the paper)."""
+
+    def __init__(self, sim: Simulator, rng: SeededStream, cores: int = 20,
+                 nvm_timing: Optional[MemoryTiming] = None,
+                 dram_timing: Optional[MemoryTiming] = None,
+                 name: str = "node"):
+        self.sim = sim
+        self.name = name
+        self.caches = CacheHierarchy(sim, rng.fork("caches"), cores)
+        self.dram = (DramDevice(sim, dram_timing, name=f"{name}.dram")
+                     if dram_timing else DramDevice(sim, name=f"{name}.dram"))
+        self.nvm = (NvmDevice(sim, nvm_timing, name=f"{name}.nvm")
+                    if nvm_timing else NvmDevice(sim, name=f"{name}.nvm"))
+
+    # -- volatile side -------------------------------------------------------
+
+    def volatile_update(self, address: int, size_bytes: int = 64,
+                        via_ddio: bool = False) -> Generator:
+        """Process: apply one update to the volatile hierarchy.
+
+        Locally-produced writes take a cache-hierarchy access.  NIC
+        deliveries try DDIO first; on spill they cost a DRAM write.
+        """
+        if via_ddio:
+            if self.caches.llc.ddio_deposit(size_bytes):
+                yield self.sim.timeout(self.caches.llc.round_trip_ns)
+            else:
+                yield from self.dram.write(address)
+        else:
+            yield from self.caches.access(self.dram)
+
+    def volatile_read(self, address: int) -> Generator:
+        """Process: read one key from the volatile hierarchy."""
+        yield from self.caches.access(self.dram)
+
+    def consume_ddio(self, size_bytes: int = 64) -> None:
+        """Release DDIO space once an update has been ingested."""
+        self.caches.llc.ddio_consume(size_bytes)
+
+    # -- durable side ---------------------------------------------------------
+
+    def persist(self, address: int) -> Generator:
+        """Process: durably write one update to NVM."""
+        yield from self.nvm.persist(address)
+
+    def nvm_read(self, address: int) -> Generator:
+        """Process: read from NVM (used during recovery)."""
+        yield from self.nvm.read(address)
+
+    @property
+    def nvm_pressure(self) -> int:
+        """Outstanding NVM operations (queued + in service)."""
+        return self.nvm.outstanding

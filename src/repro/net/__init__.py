@@ -1,0 +1,6 @@
+"""Network substrate: fabric, NICs with queue pairs, RDMA-NVM verbs."""
+
+from repro.net.network import Network, NetworkConfig, Nic
+from repro.net.rdma import RdmaEndpoint, RdmaFabric
+
+__all__ = ["Network", "NetworkConfig", "Nic", "RdmaEndpoint", "RdmaFabric"]

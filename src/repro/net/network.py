@@ -1,0 +1,153 @@
+"""Network fabric and NIC models.
+
+The paper models (Table 5): 1 us NIC-to-NIC round trip, 200 Gb/s links,
+and NICs with up to 400 queue pairs.  We model:
+
+* :class:`NetworkConfig` — latency/bandwidth/queue-pair parameters.
+* :class:`Nic` — per-node endpoint; outgoing messages serialize onto the
+  link at the configured bandwidth and occupy a queue pair until
+  delivered; incoming messages are deposited into the node's inbox
+  (via DDIO in the memory model, handled by the node).
+* :class:`Network` — the all-to-all fabric connecting NICs, adding the
+  propagation latency (half the configured round trip per direction).
+
+Messages are opaque to this layer; it only needs ``size_bytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.sync import Resource, Store
+
+__all__ = ["NetworkConfig", "Nic", "Network"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Fabric parameters (defaults = paper Table 5)."""
+
+    round_trip_ns: float = 1000.0
+    bandwidth_bytes_per_ns: float = 25.0  # 200 Gb/s = 25 GB/s
+    queue_pairs: int = 400
+
+    @property
+    def one_way_ns(self) -> float:
+        return self.round_trip_ns / 2.0
+
+
+class Nic:
+    """One node's network interface.
+
+    Sending holds a queue pair for the serialization time; the in-flight
+    propagation does not hold the queue pair (the fabric pipelines), so
+    queue pairs only throttle injection rate, as on real hardware.
+    """
+
+    def __init__(self, sim: Simulator, node_id: int, config: NetworkConfig):
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config
+        self.queue_pairs = Resource(sim, config.queue_pairs,
+                                    name=f"nic{node_id}.qp")
+        self.inbox: Store = Store(sim, name=f"nic{node_id}.inbox")
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    def serialization_ns(self, size_bytes: int) -> float:
+        return size_bytes / self.config.bandwidth_bytes_per_ns
+
+    def deliver(self, message: Any, size_bytes: int) -> None:
+        """Called by the fabric when a message arrives."""
+        self.messages_received += 1
+        self.bytes_received += size_bytes
+        self.inbox.put(message)
+
+    def receive(self) -> Event:
+        """Event yielding the next inbound message."""
+        return self.inbox.get()
+
+
+class Network:
+    """All-to-all fabric.  ``send`` is fire-and-forget (like a NIC doorbell);
+    the returned event triggers at *remote delivery* time, which protocol
+    code can ignore (message passing) or wait on (RDMA-style completion
+    is modeled one level up, in :mod:`repro.net.rdma`).
+    """
+
+    def __init__(self, sim: Simulator, config: Optional[NetworkConfig] = None,
+                 one_way_fn: Optional[Callable[[int, int], float]] = None):
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self._nics: Dict[int, Nic] = {}
+        self.total_messages = 0
+        self.total_bytes = 0
+        # Optional per-pair propagation delay (ns) — used by hybrid
+        # multi-datacenter topologies; defaults to the uniform fabric.
+        self.one_way_fn = one_way_fn
+        # Optional hook for failure injection: called with (src, dst, msg);
+        # returning False drops the message.
+        self.filter: Optional[Callable[[int, int, Any], bool]] = None
+
+    def attach(self, node_id: int) -> Nic:
+        """Create and register the NIC for ``node_id``."""
+        if node_id in self._nics:
+            raise ValueError(f"node {node_id} already attached")
+        nic = Nic(self.sim, node_id, self.config)
+        self._nics[node_id] = nic
+        return nic
+
+    def nic(self, node_id: int) -> Nic:
+        return self._nics[node_id]
+
+    @property
+    def node_ids(self) -> List[int]:
+        return sorted(self._nics)
+
+    def send(self, src: int, dst: int, message: Any, size_bytes: int) -> Event:
+        """Inject ``message`` from ``src`` to ``dst``.
+
+        Returns an event that triggers when the message is delivered at
+        the destination NIC.  The sending side is charged queue-pair
+        occupancy and serialization via a helper process.
+        """
+        if src == dst:
+            raise ValueError("loopback send: use local operations instead")
+        if self.filter is not None and not self.filter(src, dst, message):
+            return self.sim.event()  # dropped: never triggers
+        delivered = self.sim.event()
+        self.sim.process(self._transfer(src, dst, message, size_bytes, delivered),
+                         name=f"net:{src}->{dst}")
+        return delivered
+
+    def _transfer(self, src: int, dst: int, message: Any, size_bytes: int,
+                  delivered: Event) -> Generator:
+        src_nic = self._nics[src]
+        dst_nic = self._nics[dst]
+        yield src_nic.queue_pairs.acquire()
+        try:
+            yield self.sim.timeout(src_nic.serialization_ns(size_bytes))
+        finally:
+            src_nic.queue_pairs.release()
+        src_nic.messages_sent += 1
+        src_nic.bytes_sent += size_bytes
+        self.total_messages += 1
+        self.total_bytes += size_bytes
+        one_way = (self.one_way_fn(src, dst) if self.one_way_fn is not None
+                   else self.config.one_way_ns)
+        yield self.sim.timeout(one_way)
+        dst_nic.deliver(message, size_bytes)
+        delivered.succeed(message)
+
+    def broadcast(self, src: int, dsts: List[int], message: Any,
+                  size_bytes: int) -> List[Event]:
+        """Send ``message`` to every node in ``dsts`` concurrently.
+
+        This is the paper's leaderless broadcast: one message per
+        destination injected back-to-back, not a chain.
+        """
+        return [self.send(src, dst, message, size_bytes) for dst in dsts]

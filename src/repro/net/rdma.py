@@ -1,0 +1,106 @@
+"""RDMA verbs over the fabric, including the SNIA NVM extensions.
+
+Current RDMA gives no guarantee that data reached remote *persistent*
+memory.  The paper follows SNIA's "NVM PM Remote Access for High
+Availability" proposal and models extended commands; we implement the
+same three verbs the evaluation relies on:
+
+* :meth:`RdmaEndpoint.write` — one-sided write into remote volatile
+  memory (DDIO deposit); completion event fires when the remote memory
+  is updated and the ack returns.
+* :meth:`RdmaEndpoint.write_persist` — one-sided write whose completion
+  guarantees the payload is durable in remote NVM (used by Strict
+  persistency, which may persist before the volatile replica updates).
+* :meth:`RdmaEndpoint.flush` — flush previously-written remote data from
+  volatile memory to NVM; completes when durable.
+
+Each verb is a *process generator*; the caller decides whether to wait.
+Verbs are one-sided: they charge the remote memory device directly, not
+a remote worker core, matching RDMA's bypass of the remote CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator
+
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+
+__all__ = ["RdmaEndpoint", "RdmaFabric"]
+
+
+class RdmaEndpoint:
+    """RDMA verbs from one source node to remote memories."""
+
+    def __init__(self, sim: Simulator, network: Network, node_id: int,
+                 memories: Dict[int, MemoryHierarchy]):
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self._memories = memories
+        self.writes = 0
+        self.persist_writes = 0
+        self.flushes = 0
+
+    def _one_way(self) -> float:
+        return self.network.config.one_way_ns
+
+    def _serialization(self, size_bytes: int) -> float:
+        nic = self.network.nic(self.node_id)
+        return nic.serialization_ns(size_bytes)
+
+    def write(self, dst: int, address: int, size_bytes: int = 64) -> Generator:
+        """Process: one-sided write to remote volatile memory.
+
+        Timeline: serialize + propagate, remote DDIO/DRAM update, ack
+        propagates back.  Total = RTT + remote volatile update.
+        """
+        self.writes += 1
+        yield self.sim.timeout(self._serialization(size_bytes) + self._one_way())
+        remote = self._memories[dst]
+        yield from remote.volatile_update(address, size_bytes, via_ddio=True)
+        yield self.sim.timeout(self._one_way())
+
+    def write_persist(self, dst: int, address: int,
+                      size_bytes: int = 64) -> Generator:
+        """Process: one-sided durable write to remote NVM (SNIA extension).
+
+        Completion guarantees durability; the remote volatile replica is
+        *not* necessarily updated (the paper notes Strict persistency may
+        persist before the volatile copies change).
+        """
+        self.persist_writes += 1
+        yield self.sim.timeout(self._serialization(size_bytes) + self._one_way())
+        remote = self._memories[dst]
+        yield from remote.persist(address)
+        yield self.sim.timeout(self._one_way())
+
+    def flush(self, dst: int, address: int) -> Generator:
+        """Process: flush remote volatile data to remote NVM."""
+        self.flushes += 1
+        yield self.sim.timeout(self._serialization(16) + self._one_way())
+        remote = self._memories[dst]
+        yield from remote.persist(address)
+        yield self.sim.timeout(self._one_way())
+
+
+class RdmaFabric:
+    """Factory/registry of per-node RDMA endpoints sharing one network."""
+
+    def __init__(self, sim: Simulator, network: Network):
+        self.sim = sim
+        self.network = network
+        self._memories: Dict[int, MemoryHierarchy] = {}
+        self._endpoints: Dict[int, RdmaEndpoint] = {}
+
+    def register(self, node_id: int, memory: MemoryHierarchy) -> RdmaEndpoint:
+        if node_id in self._endpoints:
+            raise ValueError(f"node {node_id} already registered")
+        self._memories[node_id] = memory
+        endpoint = RdmaEndpoint(self.sim, self.network, node_id, self._memories)
+        self._endpoints[node_id] = endpoint
+        return endpoint
+
+    def endpoint(self, node_id: int) -> RdmaEndpoint:
+        return self._endpoints[node_id]

@@ -1,0 +1,191 @@
+"""Synchronization and queueing primitives for the simulation kernel.
+
+These are the building blocks the substrates use:
+
+* :class:`Resource` — a counted resource with FIFO waiters.  Models NVM
+  banks, NIC queue pairs, and worker cores.
+* :class:`Store` — an unbounded FIFO channel of items.  Models message
+  queues between the network and protocol engines.
+* :class:`Latch` — a countdown latch.  Models "wait for N ACKs".
+* :class:`Condition` — predicate waiting with explicit re-checks.  Models
+  read stalls ("wait until the latest visible version is persisted").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List
+
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["Resource", "Store", "Latch", "Condition"]
+
+
+class Resource:
+    """A counted resource with FIFO admission.
+
+    ``capacity`` concurrent holders are admitted; further ``acquire``
+    events queue.  Use in a process as::
+
+        grant = yield resource.acquire()
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # Telemetry for utilization / queueing analysis.
+        self.total_acquires = 0
+        self.peak_queue_len = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """An event that triggers when a unit of the resource is granted."""
+        self.total_acquires += 1
+        event = self.sim.event()
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+            self.peak_queue_len = max(self.peak_queue_len, len(self._waiters))
+        return event
+
+    def release(self) -> None:
+        """Return one unit; hands it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed(self)
+        else:
+            self._in_use -= 1
+
+    def use(self, duration: float) -> Generator:
+        """Process helper: acquire, hold for ``duration``, release."""
+        yield self.acquire()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release()
+
+
+class Store:
+    """An unbounded FIFO channel.
+
+    ``put`` never blocks; ``get`` returns an event yielding the oldest
+    item (immediately if one is buffered).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.total_puts = 0
+        self.peak_len = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        self.total_puts += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+            self.peak_len = max(self.peak_len, len(self._items))
+
+    def get(self) -> Event:
+        event = self.sim.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+
+class Latch:
+    """A countdown latch: triggers its event after ``count`` arrivals.
+
+    Used by coordinators waiting for ACKs from all followers.  Extra
+    arrivals beyond ``count`` raise, catching protocol double-ACK bugs.
+    """
+
+    def __init__(self, sim: Simulator, count: int, name: str = "latch"):
+        if count < 0:
+            raise ValueError(f"negative latch count: {count}")
+        self.sim = sim
+        self.name = name
+        self._remaining = count
+        self.event = sim.event()
+        if count == 0:
+            self.event.succeed()
+
+    @property
+    def remaining(self) -> int:
+        return self._remaining
+
+    def arrive(self, value: Any = None) -> None:
+        if self._remaining <= 0:
+            raise RuntimeError(f"latch {self.name!r} overrun")
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.event.succeed(value)
+
+    def wait(self) -> Event:
+        return self.event
+
+
+class Condition:
+    """Wait until a predicate over shared state holds.
+
+    Unlike an event, a condition can be waited on by many processes and
+    re-evaluated many times.  State mutators call :meth:`notify` after
+    changing anything the predicates may read.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "condition"):
+        self.sim = sim
+        self.name = name
+        self._waiters: List[tuple] = []
+
+    def wait_for(self, predicate: Callable[[], bool]) -> Event:
+        """Event triggering once ``predicate()`` is true (maybe immediately)."""
+        event = self.sim.event()
+        if predicate():
+            event.succeed()
+        else:
+            self._waiters.append((predicate, event))
+        return event
+
+    def notify(self) -> None:
+        """Re-check all waiting predicates; wake those now satisfied."""
+        if not self._waiters:
+            return
+        still_waiting = []
+        for predicate, event in self._waiters:
+            if predicate():
+                event.succeed()
+            else:
+                still_waiting.append((predicate, event))
+        self._waiters = still_waiting
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)

@@ -1,0 +1,94 @@
+"""Event tracing for simulations.
+
+A :class:`Tracer` collects structured trace records (time, category,
+node, details).  Protocol engines emit traces for message sends, state
+transitions, persists, and stalls; tests and the recovery checker replay
+them to validate protocol invariants, and debugging dumps them as text.
+
+Tracing is off by default (a :class:`NullTracer` is used) so the hot
+simulation path pays a single attribute lookup per potential record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "Tracer", "NullTracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    node: Optional[int]
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        detail_str = " ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        node_str = f"n{self.node}" if self.node is not None else "--"
+        return f"[{self.time:>12.1f}ns] {node_str:>4} {self.category:<18} {detail_str}"
+
+
+class Tracer:
+    """Collects trace records, with optional category filtering."""
+
+    enabled = True
+
+    def __init__(self, categories: Optional[List[str]] = None):
+        self.records: List[TraceRecord] = []
+        self._categories = set(categories) if categories else None
+
+    def emit(
+        self,
+        time: float,
+        category: str,
+        node: Optional[int] = None,
+        **details: Any,
+    ) -> None:
+        if self._categories is not None and category not in self._categories:
+            return
+        self.records.append(TraceRecord(time, category, node, details))
+
+    def by_category(self, category: str) -> Iterator[TraceRecord]:
+        return (r for r in self.records if r.category == category)
+
+    def count(self, category: str) -> int:
+        return sum(1 for _ in self.by_category(category))
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        records = self.records if limit is None else self.records[:limit]
+        return "\n".join(r.format() for r in records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class NullTracer:
+    """A tracer that drops everything; the default for performance."""
+
+    enabled = False
+    records: List[TraceRecord] = []
+
+    def emit(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def by_category(self, category: str) -> Iterator[TraceRecord]:
+        return iter(())
+
+    def count(self, category: str) -> int:
+        return 0
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        return ""
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0

@@ -1,0 +1,44 @@
+"""Key-value store substrates (the paper's evaluated applications).
+
+All stores implement :class:`repro.store.base.KvStore`: they hold real
+data and act as deterministic access-cost oracles for the protocol
+engine.  ``make_store`` builds one by name.
+"""
+
+from repro.store.base import KvStore, VISIT_NS
+from repro.store.bplustree import BPlusTreeStore
+from repro.store.btree import BTreeStore
+from repro.store.hashtable import HashTableStore
+from repro.store.memcachedlike import MemcachedStore, SlabClass
+from repro.store.sortedmap import SortedMapStore
+
+__all__ = [
+    "BPlusTreeStore",
+    "BTreeStore",
+    "HashTableStore",
+    "KvStore",
+    "MemcachedStore",
+    "STORE_TYPES",
+    "SlabClass",
+    "SortedMapStore",
+    "VISIT_NS",
+    "make_store",
+]
+
+STORE_TYPES = {
+    "hashtable": HashTableStore,
+    "sortedmap": SortedMapStore,
+    "btree": BTreeStore,
+    "bplustree": BPlusTreeStore,
+    "memcached": MemcachedStore,
+}
+
+
+def make_store(name: str) -> KvStore:
+    """Instantiate a store by name (see :data:`STORE_TYPES`)."""
+    try:
+        return STORE_TYPES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown store {name!r}; choose from {sorted(STORE_TYPES)}"
+        ) from None

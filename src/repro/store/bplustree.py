@@ -1,0 +1,192 @@
+"""B+-tree store (the paper's "BPlusTree", after TLX).
+
+Values live only in the leaves; leaves are chained for range scans.
+Insertions split full nodes on the way back up; deletion uses lazy
+underflow (keys are removed from leaves, structure merges only when a
+leaf empties), the common practical simplification.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.store.base import KvStore
+
+__all__ = ["BPlusTreeStore"]
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self):
+        self.keys: List[int] = []
+        self.values: List[Any] = []
+        self.next: Optional["_Leaf"] = None
+
+
+class _Inner:
+    __slots__ = ("keys", "children")
+
+    def __init__(self):
+        self.keys: List[int] = []          # separators
+        self.children: List[Any] = []      # _Inner or _Leaf
+
+
+def _bisect(keys: List[int], key: int) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] <= key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class BPlusTreeStore(KvStore):
+    """B+-tree with ``order`` children per inner node and ``order``
+    entries per leaf."""
+
+    name = "bplustree"
+
+    def __init__(self, order: int = 16):
+        if order < 4:
+            raise ValueError(f"order must be >= 4, got {order}")
+        self._order = order
+        self._root: Any = _Leaf()
+        self._size = 0
+
+    # -- navigation ---------------------------------------------------------------
+
+    def _descend(self, key: int) -> Tuple[_Leaf, List[Tuple[_Inner, int]]]:
+        """Walk to the leaf for ``key``; return it and the (parent, slot)
+        path for split propagation."""
+        path: List[Tuple[_Inner, int]] = []
+        node = self._root
+        while isinstance(node, _Inner):
+            slot = _bisect(node.keys, key)
+            path.append((node, slot))
+            node = node.children[slot]
+        return node, path
+
+    # -- KvStore API ------------------------------------------------------------------
+
+    def get(self, key: int) -> Optional[Any]:
+        leaf, _path = self._descend(key)
+        slot = _bisect(leaf.keys, key) - 1
+        if slot >= 0 and leaf.keys[slot] == key:
+            return leaf.values[slot]
+        return None
+
+    def put(self, key: int, value: Any) -> None:
+        leaf, path = self._descend(key)
+        slot = _bisect(leaf.keys, key) - 1
+        if slot >= 0 and leaf.keys[slot] == key:
+            leaf.values[slot] = value
+            return
+        insert_at = slot + 1
+        leaf.keys.insert(insert_at, key)
+        leaf.values.insert(insert_at, value)
+        self._size += 1
+        if len(leaf.keys) >= self._order:
+            self._split_leaf(leaf, path)
+
+    def _split_leaf(self, leaf: _Leaf, path: List[Tuple[_Inner, int]]) -> None:
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next = leaf.next
+        leaf.next = right
+        self._insert_separator(path, right.keys[0], right)
+
+    def _insert_separator(self, path: List[Tuple[_Inner, int]], separator: int,
+                          right_child: Any) -> None:
+        while path:
+            parent, slot = path.pop()
+            parent.keys.insert(slot, separator)
+            parent.children.insert(slot + 1, right_child)
+            if len(parent.children) <= self._order:
+                return
+            mid = len(parent.keys) // 2
+            separator = parent.keys[mid]
+            sibling = _Inner()
+            sibling.keys = parent.keys[mid + 1:]
+            sibling.children = parent.children[mid + 1:]
+            parent.keys = parent.keys[:mid]
+            parent.children = parent.children[:mid + 1]
+            right_child = sibling
+        new_root = _Inner()
+        new_root.keys = [separator]
+        new_root.children = [self._root, right_child]
+        self._root = new_root
+
+    def delete(self, key: int) -> bool:
+        leaf, path = self._descend(key)
+        slot = _bisect(leaf.keys, key) - 1
+        if slot < 0 or leaf.keys[slot] != key:
+            return False
+        leaf.keys.pop(slot)
+        leaf.values.pop(slot)
+        self._size -= 1
+        if not leaf.keys and path:
+            self._drop_empty_leaf(leaf, path)
+        return True
+
+    def _drop_empty_leaf(self, leaf: _Leaf, path: List[Tuple[_Inner, int]]) -> None:
+        parent, slot = path[-1]
+        parent.children.pop(slot)
+        if slot > 0:
+            parent.keys.pop(slot - 1)
+            parent.children[slot - 1].next = leaf.next
+        elif parent.keys:
+            parent.keys.pop(0)
+        # Collapse degenerate roots.
+        while isinstance(self._root, _Inner) and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _walk_length(self, key: int) -> int:
+        visits = 1
+        node = self._root
+        while isinstance(node, _Inner):
+            node = node.children[_bisect(node.keys, key)]
+            visits += 1
+        return visits
+
+    # -- ordered access -----------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        node = self._root
+        while isinstance(node, _Inner):
+            node = node.children[0]
+        leaf: Optional[_Leaf] = node
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next
+
+    def range(self, low: int, high: int) -> List[Tuple[int, Any]]:
+        """All (key, value) with ``low <= key <= high`` via the leaf chain."""
+        leaf, _path = self._descend(low)
+        result: List[Tuple[int, Any]] = []
+        current: Optional[_Leaf] = leaf
+        while current is not None:
+            for key, value in zip(current.keys, current.values):
+                if key > high:
+                    return result
+                if key >= low:
+                    result.append((key, value))
+            current = current.next
+        return result
+
+    @property
+    def depth(self) -> int:
+        node, levels = self._root, 1
+        while isinstance(node, _Inner):
+            node = node.children[0]
+            levels += 1
+        return levels

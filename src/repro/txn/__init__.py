@@ -1,0 +1,5 @@
+"""Transaction substrate: active-transaction table and conflict detection."""
+
+from repro.txn.manager import Txn, TxnConflict, TxnTable
+
+__all__ = ["Txn", "TxnConflict", "TxnTable"]

@@ -1,0 +1,127 @@
+"""Transaction bookkeeping and conflict detection.
+
+The paper's <Transactional, *> protocols layer "additional software
+infrastructure that detects and handles transactional conflicts": at
+every read and write, the accessed key is compared against the reads and
+writes of all currently-active transactions; on a conflict the
+transaction is squashed (and retried by the client) or stalled,
+depending on the flavor — we implement squash-and-retry.
+
+:class:`TxnTable` is that shared software infrastructure: a cluster-wide
+registry of active transactions and their read/write sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["Txn", "TxnConflict", "TxnTable"]
+
+
+class TxnConflict(Exception):
+    """Raised into a transaction's flow when it is squashed."""
+
+    def __init__(self, txn_id: int, key: int, other_txn_id: int):
+        super().__init__(f"txn {txn_id} conflicts with txn {other_txn_id} on key {key}")
+        self.txn_id = txn_id
+        self.key = key
+        self.other_txn_id = other_txn_id
+
+
+@dataclass
+class Txn:
+    """One active transaction."""
+
+    txn_id: int
+    node: int
+    client: int
+    read_set: Set[int] = field(default_factory=set)
+    write_set: Set[int] = field(default_factory=set)
+    writes: List[Tuple[int, Tuple[int, int]]] = field(default_factory=list)
+    """Ordered (key, version) pairs, for the ENDX payload."""
+
+    aborted: bool = False
+
+
+class TxnTable:
+    """Cluster-wide active-transaction registry with conflict checks.
+
+    Conflict rule (read/write vs write): an access to key ``k`` by
+    transaction ``t`` conflicts with any *other* active transaction that
+    has ``k`` in its write set; additionally a *write* conflicts with
+    another transaction's *read* of ``k``.  The younger transaction
+    (higher id) is squashed, bounding livelock: an old transaction can
+    never be killed by a newcomer.
+    """
+
+    def __init__(self):
+        self._active: Dict[int, Txn] = {}
+        self._next_id = 1
+        self.conflicts = 0
+        self.begun = 0
+        self.committed = 0
+        self.aborted = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def begin(self, node: int, client: int) -> Txn:
+        txn = Txn(txn_id=self._next_id, node=node, client=client)
+        self._next_id += 1
+        self._active[txn.txn_id] = txn
+        self.begun += 1
+        return txn
+
+    def commit(self, txn: Txn) -> None:
+        self._active.pop(txn.txn_id, None)
+        self.committed += 1
+
+    def abort(self, txn: Txn) -> None:
+        txn.aborted = True
+        self._active.pop(txn.txn_id, None)
+        self.aborted += 1
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    # -- conflict detection -----------------------------------------------------
+
+    def _conflicting_txn(self, txn: Txn, key: int, is_write: bool) -> Optional[Txn]:
+        for other in self._active.values():
+            if other.txn_id == txn.txn_id or other.aborted:
+                continue
+            if key in other.write_set:
+                return other
+            # Write sets are globally visible (INVs carry the txn id), but
+            # reads are served locally and never broadcast, so a write can
+            # only be checked against the read sets of *local* txns.
+            if is_write and other.node == txn.node and key in other.read_set:
+                return other
+        return None
+
+    def check_access(self, txn: Txn, key: int, is_write: bool) -> None:
+        """Record the access; raise :class:`TxnConflict` on a squash.
+
+        The squashed transaction is always the younger of the pair.  If
+        the *other* transaction is younger, it is marked aborted here and
+        its owner discovers the squash at its next access or at ENDX.
+        """
+        if txn.aborted:
+            raise TxnConflict(txn.txn_id, key, -1)
+        other = self._conflicting_txn(txn, key, is_write)
+        if other is not None:
+            self.conflicts += 1
+            if txn.txn_id > other.txn_id:
+                self.abort(txn)
+                raise TxnConflict(txn.txn_id, key, other.txn_id)
+            self.abort(other)
+        if is_write:
+            txn.write_set.add(key)
+        else:
+            txn.read_set.add(key)
+
+    def check_still_alive(self, txn: Txn) -> None:
+        """Raise if the transaction was squashed by a concurrent winner."""
+        if txn.aborted:
+            raise TxnConflict(txn.txn_id, -1, -1)

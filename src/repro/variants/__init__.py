@@ -1,0 +1,5 @@
+"""Protocol variants used as comparison baselines (leader-based)."""
+
+from repro.variants.leader import LeaderCluster, LeaderProtocolNode
+
+__all__ = ["LeaderCluster", "LeaderProtocolNode"]

@@ -1,0 +1,21 @@
+"""Workload substrate: YCSB-style generators and closed-loop clients."""
+
+from repro.workload.client import Client
+from repro.workload.ycsb import WORKLOADS, RequestStream, WorkloadSpec
+from repro.workload.zipf import (
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv1a_64,
+)
+
+__all__ = [
+    "Client",
+    "RequestStream",
+    "ScrambledZipfianGenerator",
+    "UniformGenerator",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "ZipfianGenerator",
+    "fnv1a_64",
+]

@@ -1,0 +1,72 @@
+"""YCSB-style workload definitions (paper Section 7).
+
+The paper evaluates with YCSB workload A (50% reads / 50% writes),
+workload B (95% reads / 5% writes), and a custom write-heavy
+"workload W" (5% reads / 95% writes), all over zipfian key choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import SeededStream
+from repro.workload.zipf import ScrambledZipfianGenerator, UniformGenerator
+
+__all__ = ["WorkloadSpec", "WORKLOADS", "RequestStream"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A read/write mix over a key space."""
+
+    name: str
+    read_fraction: float
+    key_space: int = 10_000
+    zipf_theta: float = 0.99
+    distribution: str = "zipfian"   # "zipfian" | "uniform"
+
+    def __post_init__(self):
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(f"read_fraction out of range: {self.read_fraction}")
+        if self.key_space < 1:
+            raise ValueError(f"key_space must be >= 1: {self.key_space}")
+
+    def with_overrides(self, **changes) -> "WorkloadSpec":
+        """A copy with some fields replaced (for sensitivity sweeps)."""
+        import dataclasses
+        return dataclasses.replace(self, **changes)
+
+
+WORKLOADS = {
+    # The paper's three mixes (Figure 9).
+    "A": WorkloadSpec(name="A", read_fraction=0.50),
+    "B": WorkloadSpec(name="B", read_fraction=0.95),
+    "W": WorkloadSpec(name="W", read_fraction=0.05),
+    # Classic YCSB C (read-only, uniform is also common) for completeness.
+    "C": WorkloadSpec(name="C", read_fraction=1.00),
+}
+
+
+class RequestStream:
+    """Deterministic per-client stream of (op, key) requests."""
+
+    def __init__(self, spec: WorkloadSpec, rng: SeededStream):
+        self.spec = spec
+        self._op_rng = rng.fork("ops")
+        key_rng = rng.fork("keys")
+        if spec.distribution == "zipfian":
+            self._keys = ScrambledZipfianGenerator(spec.key_space,
+                                                   spec.zipf_theta, key_rng)
+        elif spec.distribution == "uniform":
+            self._keys = UniformGenerator(spec.key_space, key_rng)
+        else:
+            raise ValueError(f"unknown distribution {spec.distribution!r}")
+        self._value_counter = 0
+
+    def next_request(self):
+        """Return ("read", key, None) or ("write", key, value)."""
+        key = self._keys.next()
+        if self._op_rng.random() < self.spec.read_fraction:
+            return ("read", key, None)
+        self._value_counter += 1
+        return ("write", key, self._value_counter)

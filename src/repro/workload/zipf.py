@@ -1,0 +1,114 @@
+"""Zipfian key-choice generator, after the YCSB implementation.
+
+Uses the Gray et al. "Quickly generating billion-record synthetic
+databases" rejection-free method that YCSB uses: constant-time draws
+after an O(n)-ish zeta precomputation (with the standard incremental
+zeta update when the item count grows).
+
+Also provides the *scrambled* variant YCSB uses by default, which hashes
+the rank so that popular keys are spread over the key space instead of
+clustering at low ids.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import SeededStream
+
+__all__ = ["ZipfianGenerator", "ScrambledZipfianGenerator", "UniformGenerator",
+           "fnv1a_64"]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """64-bit FNV-1a hash of an integer (YCSB's scramble function)."""
+    data = value & 0xFFFFFFFFFFFFFFFF
+    result = _FNV_OFFSET
+    for _ in range(8):
+        octet = data & 0xFF
+        data >>= 8
+        result ^= octet
+        result = (result * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return result
+
+
+class ZipfianGenerator:
+    """Zipf-distributed ranks in ``[0, item_count)``.
+
+    ``theta`` is the skew (YCSB default 0.99; 0 = uniform-ish).
+    """
+
+    def __init__(self, item_count: int, theta: float = 0.99,
+                 rng: SeededStream = None):
+        if item_count < 1:
+            raise ValueError(f"item_count must be >= 1, got {item_count}")
+        if not 0.0 < theta < 1.0:
+            raise ValueError(f"theta must be in (0, 1), got {theta}")
+        self.item_count = item_count
+        self.theta = theta
+        self.rng = rng or SeededStream(0, "zipf")
+        self._zeta2 = self._zeta_static(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._zeta_n = self._zeta_static(item_count, theta)
+        self._eta = self._compute_eta()
+
+    @staticmethod
+    def _zeta_static(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def _compute_eta(self) -> float:
+        if self.item_count <= 2:
+            # With <= 2 items, draws resolve in the closed-form branches
+            # of next_rank and eta is never consulted meaningfully.
+            return 0.0
+        return ((1.0 - (2.0 / self.item_count) ** (1.0 - self.theta))
+                / (1.0 - self._zeta2 / self._zeta_n))
+
+    def grow(self, new_count: int) -> None:
+        """Extend the item space incrementally (YCSB's inserts)."""
+        if new_count < self.item_count:
+            raise ValueError("item space cannot shrink")
+        for i in range(self.item_count + 1, new_count + 1):
+            self._zeta_n += 1.0 / (i ** self.theta)
+        self.item_count = new_count
+        self._eta = self._compute_eta()
+
+    def next_rank(self) -> int:
+        """Draw one rank; rank 0 is the most popular."""
+        u = self.rng.random()
+        uz = u * self._zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.item_count
+                   * ((self._eta * u - self._eta + 1.0) ** self._alpha))
+
+    def next(self) -> int:
+        return min(self.next_rank(), self.item_count - 1)
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian ranks scrambled over the key space (YCSB default)."""
+
+    def __init__(self, item_count: int, theta: float = 0.99,
+                 rng: SeededStream = None):
+        self._zipf = ZipfianGenerator(item_count, theta, rng)
+        self.item_count = item_count
+
+    def next(self) -> int:
+        return fnv1a_64(self._zipf.next()) % self.item_count
+
+
+class UniformGenerator:
+    """Uniform key choice (YCSB workload C variants)."""
+
+    def __init__(self, item_count: int, rng: SeededStream = None):
+        if item_count < 1:
+            raise ValueError(f"item_count must be >= 1, got {item_count}")
+        self.item_count = item_count
+        self.rng = rng or SeededStream(0, "uniform")
+
+    def next(self) -> int:
+        return self.rng.randint(0, self.item_count - 1)

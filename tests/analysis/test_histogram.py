@@ -1,0 +1,118 @@
+"""Tests for the log-bucketed latency histogram, incl. property tests
+comparing its quantiles to exact ones within the promised error."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.histogram import LatencyHistogram
+
+
+class TestBasics:
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert len(hist) == 0
+        assert math.isnan(hist.mean)
+        assert math.isnan(hist.percentile(0.5))
+        assert hist.render() == "(empty histogram)"
+
+    def test_precision_validation(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(precision=0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(precision=13)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-1.0)
+
+    def test_mean_min_max_exact(self):
+        hist = LatencyHistogram()
+        for value in [10.0, 20.0, 90.0]:
+            hist.record(value)
+        assert hist.mean == pytest.approx(40.0)
+        assert hist.min == 10.0
+        assert hist.max == 90.0
+        assert hist.count == 3
+
+    def test_single_value_percentiles(self):
+        hist = LatencyHistogram()
+        hist.record(1000.0)
+        for fraction in (0.01, 0.5, 0.95, 1.0):
+            assert hist.percentile(fraction) == pytest.approx(1000.0, rel=0.05)
+
+    def test_percentile_fraction_validation(self):
+        hist = LatencyHistogram()
+        hist.record(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_sub_unit_values(self):
+        hist = LatencyHistogram()
+        hist.record(0.0)
+        hist.record(0.5)
+        assert hist.count == 2
+        assert hist.percentile(1.0) <= 1.0
+
+    def test_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for value in range(1, 51):
+            a.record(float(value))
+        for value in range(51, 101):
+            b.record(float(value))
+        a.merge(b)
+        assert a.count == 100
+        assert a.percentile(0.5) == pytest.approx(50, rel=0.10)
+
+    def test_merge_precision_mismatch(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(precision=4).merge(LatencyHistogram(precision=5))
+
+    def test_buckets_ascending(self):
+        hist = LatencyHistogram()
+        for value in [3.0, 300.0, 30_000.0]:
+            hist.record(value)
+        lows = [low for low, _high, _count in hist.buckets()]
+        assert lows == sorted(lows)
+
+    def test_render_has_bars(self):
+        hist = LatencyHistogram()
+        for _ in range(10):
+            hist.record(100.0)
+        assert "#" in hist.render()
+
+
+@given(values=st.lists(st.floats(min_value=0.0, max_value=1e9,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=300),
+       fraction=st.floats(min_value=0.01, max_value=1.0))
+@settings(max_examples=80, deadline=None)
+def test_percentile_within_relative_error(values, fraction):
+    """Histogram quantiles stay within the promised relative error of
+    the exact nearest-rank quantile."""
+    hist = LatencyHistogram(precision=7)
+    for value in values:
+        hist.record(value)
+    exact = sorted(values)[max(0, math.ceil(fraction * len(values)) - 1)]
+    approx = hist.percentile(fraction)
+    if exact < 1.0:
+        assert approx <= 1.0
+    else:
+        assert abs(approx - exact) <= exact * (1 / 2 ** 7) + 1e-9 + exact * 0.01
+
+
+@given(values=st.lists(st.floats(min_value=0.0, max_value=1e9,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_count_and_mean_exact(values):
+    hist = LatencyHistogram()
+    for value in values:
+        hist.record(value)
+    assert hist.count == len(values)
+    assert hist.mean == pytest.approx(sum(values) / len(values), rel=1e-9,
+                                      abs=1e-9)

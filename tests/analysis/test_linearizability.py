@@ -1,0 +1,117 @@
+"""Tests for the linearizability checker, including a brute-force cross
+check on random histories (property-based)."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.linearizability import HistoryOp, is_linearizable
+
+
+def read(value, invoke, respond):
+    return HistoryOp("read", value, invoke, respond)
+
+
+def write(value, invoke, respond):
+    return HistoryOp("write", value, invoke, respond)
+
+
+class TestBasics:
+    def test_empty_history(self):
+        assert is_linearizable([])
+
+    def test_sequential_write_read(self):
+        history = [write(1, 0, 1), read(1, 2, 3)]
+        assert is_linearizable(history)
+
+    def test_read_of_never_written_value(self):
+        history = [write(1, 0, 1), read(2, 2, 3)]
+        assert not is_linearizable(history)
+
+    def test_stale_read_after_write_completes(self):
+        """A read that starts after a write responded must see it (or a
+        later write)."""
+        history = [write(1, 0, 1), read(None, 2, 3)]
+        assert not is_linearizable(history)
+
+    def test_concurrent_read_may_see_either(self):
+        # Read overlaps the write: old or new value both linearizable.
+        assert is_linearizable([write(1, 0, 10), read(None, 1, 2)],
+                               initial_value=None)
+        assert is_linearizable([write(1, 0, 10), read(1, 1, 2)])
+
+    def test_two_reads_cannot_swap_order(self):
+        """Monotonicity: read(2) then read(1) with writes 1 then 2 done
+        sequentially is not linearizable."""
+        history = [
+            write(1, 0, 1),
+            write(2, 2, 3),
+            read(2, 4, 5),
+            read(1, 6, 7),
+        ]
+        assert not is_linearizable(history)
+
+    def test_concurrent_writes_allow_either_winner(self):
+        history = [write(1, 0, 10), write(2, 0, 10), read(1, 20, 21)]
+        assert is_linearizable(history)
+        history2 = [write(1, 0, 10), write(2, 0, 10), read(2, 20, 21)]
+        assert is_linearizable(history2)
+
+    def test_initial_value(self):
+        assert is_linearizable([read(0, 0, 1)], initial_value=0)
+        assert not is_linearizable([read(0, 0, 1)], initial_value=None)
+
+
+def brute_force_linearizable(history, initial_value=None):
+    """Check all permutations (reference implementation)."""
+    n = len(history)
+    indices = list(range(n))
+    for perm in itertools.permutations(indices):
+        # Real-time order respected?
+        position = {op_index: slot for slot, op_index in enumerate(perm)}
+        ok = True
+        for i in range(n):
+            for j in range(n):
+                if i != j and history[i].respond < history[j].invoke:
+                    if position[i] > position[j]:
+                        ok = False
+                        break
+            if not ok:
+                break
+        if not ok:
+            continue
+        value = initial_value
+        legal = True
+        for op_index in perm:
+            op = history[op_index]
+            if op.op_type == "write":
+                value = op.value
+            elif op.value != value:
+                legal = False
+                break
+        if legal:
+            return True
+    return False
+
+
+@st.composite
+def small_histories(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    ops = []
+    for _ in range(n):
+        invoke = draw(st.integers(min_value=0, max_value=20))
+        duration = draw(st.integers(min_value=1, max_value=10))
+        if draw(st.booleans()):
+            ops.append(write(draw(st.integers(0, 2)), invoke,
+                             invoke + duration))
+        else:
+            ops.append(read(draw(st.one_of(st.none(), st.integers(0, 2))),
+                            invoke, invoke + duration))
+    return ops
+
+
+@given(history=small_histories())
+@settings(max_examples=150, deadline=None)
+def test_checker_matches_brute_force(history):
+    assert is_linearizable(history) == brute_force_linearizable(history)

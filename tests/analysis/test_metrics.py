@@ -1,0 +1,109 @@
+"""Tests for metrics collection and summarization."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import Metrics, OpRecord, Summary
+
+
+def op(op_type, start, end, node=0, client=0, key=1):
+    return OpRecord(op_type=op_type, node=node, client=client, key=key,
+                    start_ns=start, end_ns=end)
+
+
+class TestMetrics:
+    def test_latency(self):
+        record = op("read", 10.0, 35.0)
+        assert record.latency_ns == 25.0
+
+    def test_summarize_throughput(self):
+        metrics = Metrics()
+        for i in range(10):
+            metrics.record_op(op("read", i * 100.0, i * 100.0 + 50.0))
+        summary = metrics.summarize(duration_ns=1000.0)
+        assert summary.requests == 10
+        assert summary.throughput_ops_per_s == pytest.approx(10 / 1000e-9)
+
+    def test_warmup_excluded(self):
+        metrics = Metrics()
+        metrics.record_op(op("read", 0.0, 50.0))
+        metrics.record_op(op("read", 500.0, 600.0))
+        metrics.warmup_end_ns = 100.0
+        summary = metrics.summarize(duration_ns=1000.0)
+        assert summary.requests == 1
+        assert summary.mean_read_ns == pytest.approx(100.0)
+
+    def test_read_write_split(self):
+        metrics = Metrics()
+        metrics.record_op(op("read", 0, 10))
+        metrics.record_op(op("write", 0, 30))
+        summary = metrics.summarize(100)
+        assert summary.mean_read_ns == pytest.approx(10)
+        assert summary.mean_write_ns == pytest.approx(30)
+        assert summary.mean_access_ns == pytest.approx(20)
+
+    def test_percentiles(self):
+        metrics = Metrics()
+        for latency in range(1, 101):
+            metrics.record_op(op("read", 0, float(latency)))
+        summary = metrics.summarize(1000)
+        assert summary.p95_read_ns == pytest.approx(95.0)
+        assert summary.p99_read_ns == pytest.approx(99.0)
+
+    def test_non_request_ops_excluded_from_throughput(self):
+        metrics = Metrics()
+        metrics.record_op(op("read", 0, 10))
+        metrics.record_op(op("persist", 0, 10))
+        metrics.record_op(op("txn", 0, 10))
+        assert metrics.summarize(100).requests == 1
+
+    def test_empty_latencies_are_nan(self):
+        summary = Metrics().summarize(100)
+        assert math.isnan(summary.mean_read_ns)
+        assert summary.requests == 0
+
+    def test_message_accounting(self):
+        metrics = Metrics()
+        metrics.record_message("INV", 88)
+        metrics.record_message("INV", 88)
+        metrics.record_message("ACK", 16)
+        assert metrics.total_messages == 3
+        assert metrics.total_bytes == 192
+        assert metrics.messages_by_type["INV"] == 2
+
+    def test_causal_buffer_peak(self):
+        metrics = Metrics()
+        metrics.note_causal_buffer(3)
+        metrics.note_causal_buffer(7)
+        metrics.note_causal_buffer(2)
+        assert metrics.causal_buffer_peak == 7
+        assert metrics.causal_buffered_total == 3
+
+
+class TestNormalization:
+    def test_normalized_to_baseline(self):
+        metrics = Metrics()
+        metrics.record_op(op("read", 0, 10))
+        metrics.record_op(op("write", 0, 20))
+        metrics.record_message("INV", 100)
+        fast = metrics.summarize(100)
+
+        slow_metrics = Metrics()
+        slow_metrics.record_op(op("read", 0, 20))
+        slow_metrics.record_op(op("write", 0, 40))
+        slow_metrics.record_message("INV", 200)
+        slow = slow_metrics.summarize(200)
+
+        norm = fast.normalized_to(slow)
+        assert norm["throughput"] == pytest.approx(2.0)
+        assert norm["mean_read"] == pytest.approx(0.5)
+        assert norm["traffic_bytes"] == pytest.approx(0.5)
+
+    def test_read_conflict_fraction(self):
+        metrics = Metrics()
+        metrics.record_op(op("read", 0, 10))
+        metrics.record_op(op("read", 0, 10))
+        metrics.reads_blocked_by_unpersisted = 1
+        summary = metrics.summarize(100)
+        assert summary.read_conflict_fraction == pytest.approx(0.5)

@@ -1,0 +1,71 @@
+"""Tests for result-table formatting."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import Metrics, OpRecord
+from repro.analysis.report import (
+    format_figure6_table,
+    format_grid,
+    format_summary_table,
+)
+from repro.core.model import Consistency as C, DdpModel, Persistency as P, all_ddp_models
+
+
+def make_summary(read_ns=100.0, write_ns=200.0, ops=10):
+    metrics = Metrics()
+    for i in range(ops):
+        metrics.record_op(OpRecord("read", 0, 0, 1, i * 1000.0,
+                                   i * 1000.0 + read_ns))
+        metrics.record_op(OpRecord("write", 0, 0, 1, i * 1000.0,
+                                   i * 1000.0 + write_ns))
+    metrics.record_message("INV", 88)
+    return metrics.summarize(ops * 1000.0)
+
+
+class TestSummaryTable:
+    def test_contains_labels_and_columns(self):
+        table = format_summary_table([("model-x", make_summary())])
+        assert "model-x" in table
+        assert "thr(Mops/s)" in table
+        assert "rd(ns)" in table
+
+    def test_baseline_adds_normalized_column(self):
+        summary = make_summary()
+        table = format_summary_table([("a", summary)], baseline=summary)
+        assert "thr(norm)" in table
+        assert "1.00" in table
+
+
+class TestGrid:
+    def test_grid_has_all_rows_and_columns(self):
+        values = {model: 1.0 for model in all_ddp_models()}
+        grid = format_grid(values, "Test grid")
+        assert "Test grid" in grid
+        for consistency in C:
+            assert consistency.short_name in grid
+        for persistency in P:
+            assert persistency.short_name in grid
+
+    def test_missing_cells_render_dashes(self):
+        values = {DdpModel(C.CAUSAL, P.SYNCHRONOUS): 2.5}
+        grid = format_grid(values, "Sparse")
+        assert "--" in grid
+        assert "2.50" in grid
+
+
+class TestFigure6Table:
+    def test_all_six_panels(self):
+        summaries = {model: make_summary(read_ns=100 + i, write_ns=200 + i)
+                     for i, model in enumerate(all_ddp_models())}
+        text = format_figure6_table(summaries)
+        for panel in ("(a) Throughput", "(b) Mean Read", "(c) Mean Write",
+                      "(d) Mean Latency", "(e) 95th Percentile Read",
+                      "(f) 95th Percentile Write"):
+            assert panel in text
+
+    def test_baseline_cell_is_one(self):
+        summaries = {model: make_summary() for model in all_ddp_models()}
+        text = format_figure6_table(summaries)
+        assert "1.00" in text

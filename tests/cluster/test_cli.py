@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.consistency == "causal"
+        assert args.persistency == "synchronous"
+        assert args.workload == "A"
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--consistency", "serializable"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        code = main(["run", "--consistency", "causal",
+                     "--persistency", "eventual",
+                     "--servers", "3", "--clients", "6",
+                     "--duration-us", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "<Causal, Eventual>" in out
+        assert "thr(Mops/s)" in out
+
+    def test_sweep_default_selection(self, capsys):
+        code = main(["sweep", "--servers", "3", "--clients", "6",
+                     "--duration-us", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "<Linearizable, Synchronous>" in out
+        assert "<Eventual, Eventual>" in out
+        assert "thr(norm)" in out
+
+    def test_tradeoffs(self, capsys):
+        code = main(["tradeoffs"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("\n") == 10  # the ten Table 4 rows
+
+    def test_tradeoffs_all(self, capsys):
+        code = main(["tradeoffs", "--all"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("\n") == 25
+
+    def test_recover(self, capsys):
+        code = main(["recover", "--consistency", "linearizable",
+                     "--persistency", "strict",
+                     "--servers", "3", "--clients", "6",
+                     "--duration-us", "30", "--strategy", "majority"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "total recovery time" in out
+        assert "divergent keys" in out

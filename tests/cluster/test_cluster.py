@@ -1,0 +1,108 @@
+"""Tests for cluster assembly and the run harness."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster, run_simulation
+from repro.cluster.config import ClusterConfig
+from repro.core.model import Consistency as C, DdpModel, Persistency as P
+from repro.net.network import NetworkConfig
+from repro.workload.ycsb import WORKLOADS
+
+MODEL = DdpModel(C.CAUSAL, P.SYNCHRONOUS)
+
+
+class TestClusterConfig:
+    def test_defaults_match_table5(self):
+        config = ClusterConfig()
+        assert config.servers == 5
+        assert config.clients_per_server == 20
+        assert config.cores_per_server == 20
+        assert config.total_clients == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(servers=1)
+        with pytest.raises(ValueError):
+            ClusterConfig(clients_per_server=-1)
+
+    def test_with_overrides(self):
+        config = ClusterConfig().with_overrides(
+            clients_per_server=2, network=NetworkConfig(round_trip_ns=500))
+        assert config.clients_per_server == 2
+        assert config.network.round_trip_ns == 500
+        assert config.servers == 5
+
+
+class TestClusterAssembly:
+    def test_builds_requested_topology(self):
+        cluster = Cluster(MODEL, config=ClusterConfig(servers=3,
+                                                      clients_per_server=2),
+                          workload=WORKLOADS["A"])
+        assert len(cluster.nodes) == 3
+        assert len(cluster.clients) == 6
+        assert len(cluster.network.node_ids) == 3
+
+    def test_no_workload_means_no_clients(self):
+        cluster = Cluster(MODEL, config=ClusterConfig(servers=2,
+                                                      clients_per_server=5))
+        assert cluster.clients == []
+
+    def test_engines_share_metrics_and_txn_table(self):
+        cluster = Cluster(MODEL, config=ClusterConfig(servers=3))
+        assert len({id(e.metrics) for e in cluster.engines}) == 1
+        assert len({id(e.txn_table) for e in cluster.engines}) == 1
+
+    def test_store_type_none(self):
+        config = ClusterConfig(servers=2, store_type=None)
+        cluster = Cluster(MODEL, config=config)
+        assert cluster.nodes[0].store is None
+
+    def test_store_type_selected(self):
+        config = ClusterConfig(servers=2, store_type="btree")
+        cluster = Cluster(MODEL, config=config)
+        assert cluster.nodes[0].store.name == "btree"
+
+
+class TestRunSimulation:
+    def test_produces_summary(self):
+        config = ClusterConfig(servers=3, clients_per_server=2)
+        summary = run_simulation(MODEL, WORKLOADS["A"], config=config,
+                                 duration_ns=30_000, warmup_ns=3_000)
+        assert summary.requests > 0
+        assert summary.throughput_ops_per_s > 0
+        assert summary.mean_read_ns > 0
+        assert summary.total_messages > 0
+
+    def test_deterministic_with_same_seed(self):
+        config = ClusterConfig(servers=3, clients_per_server=2, seed=7)
+        a = run_simulation(MODEL, WORKLOADS["A"], config=config,
+                           duration_ns=20_000, warmup_ns=2_000)
+        b = run_simulation(MODEL, WORKLOADS["A"], config=config,
+                           duration_ns=20_000, warmup_ns=2_000)
+        assert a.requests == b.requests
+        assert a.mean_read_ns == b.mean_read_ns
+        assert a.total_messages == b.total_messages
+
+    def test_seed_changes_results(self):
+        base = ClusterConfig(servers=3, clients_per_server=2, seed=1)
+        other = base.with_overrides(seed=2)
+        a = run_simulation(MODEL, WORKLOADS["A"], config=base,
+                           duration_ns=20_000, warmup_ns=2_000)
+        b = run_simulation(MODEL, WORKLOADS["A"], config=other,
+                           duration_ns=20_000, warmup_ns=2_000)
+        assert (a.requests, a.mean_read_ns) != (b.requests, b.mean_read_ns)
+
+    def test_store_data_replicated(self):
+        cluster = Cluster(MODEL,
+                          config=ClusterConfig(servers=3, clients_per_server=2,
+                                               store_type="hashtable"),
+                          workload=WORKLOADS["W"])
+        cluster.run(duration_ns=30_000)
+        for client in cluster.clients:
+            client.request_stop()
+        cluster.sim.run(until=cluster.sim.now + 200_000)  # quiesce
+        # Every written key eventually lands in every node's store.
+        reference = dict(cluster.nodes[0].store.items())
+        assert reference
+        for node in cluster.nodes[1:]:
+            assert set(node.store.keys()) == set(reference)

@@ -1,0 +1,458 @@
+"""Protocol-semantics tests for the DDP engine (paper Figures 2-5).
+
+Each test builds a small cluster with no workload clients and drives
+client operations by hand, then asserts the visibility/durability
+contracts of the model: when writes complete, what reads stall on, what
+is persisted when, and which messages flow.
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import ClusterConfig
+from repro.core.context import ClientContext
+from repro.core.engine import ProtocolConfig
+from repro.core.messages import Message, MsgType
+from repro.core.model import Consistency as C, DdpModel, Persistency as P
+from repro.core.replica import ZERO_VERSION
+from repro.txn.manager import TxnConflict
+
+RTT = 1000.0
+NVM_WRITE = 400.0
+
+
+def make_cluster(consistency, persistency, servers=3):
+    model = DdpModel(consistency, persistency)
+    config = ClusterConfig(servers=servers, clients_per_server=0,
+                           store_type=None)
+    cluster = Cluster(model, config=config)
+    cluster.start()
+    return cluster
+
+
+def run_op(cluster, generator):
+    """Drive one client operation to completion; return (value, latency)."""
+    sim = cluster.sim
+    start = sim.now
+    process = sim.process(generator)
+    value = sim.run_until_complete(process)
+    return value, sim.now - start
+
+
+def quiesce(cluster, horizon=200_000.0):
+    """Let all background protocol activity finish."""
+    cluster.sim.run(until=cluster.sim.now + horizon)
+
+
+class TestLinearizableSynchronous:
+    """Figure 2(a)/(b)."""
+
+    def test_write_completes_after_all_replicas_durable(self):
+        cluster = make_cluster(C.LINEARIZABLE, P.SYNCHRONOUS)
+        ctx = ClientContext(0, 0)
+        run_op(cluster, cluster.engines[0].client_write(ctx, 7, "v1"))
+        # At completion every node has applied AND persisted the update.
+        for engine in cluster.engines:
+            replica = engine.replicas.get(7)
+            assert replica.applied_value == "v1"
+            assert replica.persisted_value == "v1"
+
+    def test_write_latency_includes_round_and_persist(self):
+        cluster = make_cluster(C.LINEARIZABLE, P.SYNCHRONOUS)
+        ctx = ClientContext(0, 0)
+        _, latency = run_op(cluster,
+                            cluster.engines[0].client_write(ctx, 7, "v1"))
+        assert latency >= RTT + NVM_WRITE
+
+    def test_follower_read_stalls_until_val(self):
+        cluster = make_cluster(C.LINEARIZABLE, P.SYNCHRONOUS)
+        sim = cluster.sim
+        writer_ctx = ClientContext(0, 0)
+        reader_ctx = ClientContext(1, 1)
+        write = sim.process(
+            cluster.engines[0].client_write(writer_ctx, 7, "v1"))
+        # Give the INV time to reach the follower and make key 7 transient.
+        sim.run(until=RTT / 2 + 300)
+        read = sim.process(cluster.engines[1].client_read(reader_ctx, 7))
+        value = sim.run_until_complete(read)
+        assert write.triggered
+        assert value == "v1"           # never the stale value
+        assert cluster.metrics.read_stalls >= 1
+
+    def test_read_without_conflict_is_fast(self):
+        cluster = make_cluster(C.LINEARIZABLE, P.SYNCHRONOUS)
+        ctx = ClientContext(0, 0)
+        run_op(cluster, cluster.engines[0].client_write(ctx, 7, "v1"))
+        quiesce(cluster)
+        _, latency = run_op(cluster, cluster.engines[1].client_read(ctx, 7))
+        assert latency < RTT  # no network round needed for a quiet key
+
+    def test_message_flow_counts(self):
+        cluster = make_cluster(C.LINEARIZABLE, P.SYNCHRONOUS, servers=3)
+        ctx = ClientContext(0, 0)
+        run_op(cluster, cluster.engines[0].client_write(ctx, 7, "v1"))
+        quiesce(cluster)
+        by_type = cluster.metrics.messages_by_type
+        assert by_type[MsgType.INV.value] == 2   # one per follower
+        assert by_type[MsgType.ACK.value] == 2
+        assert by_type[MsgType.VAL.value] == 2
+        assert MsgType.UPD.value not in by_type
+
+    def test_concurrent_writers_serialize(self):
+        """Two coordinators writing the same key: both complete, and all
+        replicas converge on the same final version."""
+        cluster = make_cluster(C.LINEARIZABLE, P.SYNCHRONOUS)
+        sim = cluster.sim
+        w0 = sim.process(cluster.engines[0].client_write(
+            ClientContext(0, 0), 7, "from0"))
+        w1 = sim.process(cluster.engines[1].client_write(
+            ClientContext(1, 1), 7, "from1"))
+        sim.run_until_complete(w0)
+        sim.run_until_complete(w1)
+        quiesce(cluster)
+        finals = {e.replicas.get(7).applied_value for e in cluster.engines}
+        assert len(finals) == 1
+        versions = {e.replicas.get(7).applied_version
+                    for e in cluster.engines}
+        assert len(versions) == 1
+
+
+class TestReadEnforcedConsistency:
+    """Figure 2(c)/(d): writes return immediately; reads wait."""
+
+    def test_write_returns_before_followers_apply(self):
+        cluster = make_cluster(C.READ_ENFORCED, P.SYNCHRONOUS)
+        ctx = ClientContext(0, 0)
+        _, latency = run_op(cluster,
+                            cluster.engines[0].client_write(ctx, 7, "v1"))
+        assert latency < RTT  # did not wait for the round trip
+        follower = cluster.engines[1].replicas.get(7)
+        assert follower.applied_version == ZERO_VERSION
+        quiesce(cluster)
+        assert cluster.engines[1].replicas.get(7).applied_value == "v1"
+
+    def test_read_waits_for_propagation_and_persist(self):
+        cluster = make_cluster(C.READ_ENFORCED, P.SYNCHRONOUS)
+        ctx = ClientContext(0, 0)
+        run_op(cluster, cluster.engines[0].client_write(ctx, 7, "v1"))
+        value, latency = run_op(
+            cluster, cluster.engines[0].client_read(ClientContext(1, 0), 7))
+        assert value == "v1"
+        assert latency >= RTT / 2  # stalled for the round to finish
+        # By read completion, everything is durable everywhere.
+        for engine in cluster.engines:
+            assert engine.replicas.get(7).persisted_value == "v1"
+
+
+class TestLinearizableReadEnforcedPersistency:
+    """Figure 3(a)/(b): dual ACKs, reads wait for VAL_p."""
+
+    def test_write_completes_before_cluster_durable(self):
+        cluster = make_cluster(C.LINEARIZABLE, P.READ_ENFORCED)
+        ctx = ClientContext(0, 0)
+        run_op(cluster, cluster.engines[0].client_write(ctx, 7, "v1"))
+        # All volatile replicas updated (Linearizable requirement) ...
+        for engine in cluster.engines:
+            assert engine.replicas.get(7).applied_value == "v1"
+        # ... but durability everywhere is NOT yet guaranteed.
+        coordinator = cluster.engines[0].replicas.get(7)
+        assert coordinator.cluster_persisted_version < coordinator.applied_version
+
+    def test_read_stalls_until_cluster_persisted(self):
+        cluster = make_cluster(C.LINEARIZABLE, P.READ_ENFORCED)
+        ctx = ClientContext(0, 0)
+        run_op(cluster, cluster.engines[0].client_write(ctx, 7, "v1"))
+        value, _ = run_op(cluster,
+                          cluster.engines[1].client_read(ClientContext(1, 1), 7))
+        assert value == "v1"
+        replica = cluster.engines[1].replicas.get(7)
+        assert replica.cluster_persisted_version >= replica.applied_version
+        assert cluster.metrics.reads_blocked_by_unpersisted >= 1
+
+    def test_dual_ack_message_flow(self):
+        cluster = make_cluster(C.LINEARIZABLE, P.READ_ENFORCED, servers=3)
+        ctx = ClientContext(0, 0)
+        run_op(cluster, cluster.engines[0].client_write(ctx, 7, "v1"))
+        quiesce(cluster)
+        by_type = cluster.metrics.messages_by_type
+        assert by_type[MsgType.ACK_C.value] == 2
+        assert by_type[MsgType.ACK_P.value] == 2
+        assert by_type[MsgType.VAL_P.value] == 2
+
+
+class TestCausal:
+    """Figures 2(e)/(f) and 3(c)/(d)."""
+
+    def test_write_is_local_latency(self):
+        cluster = make_cluster(C.CAUSAL, P.SYNCHRONOUS)
+        ctx = ClientContext(0, 0)
+        _, latency = run_op(cluster,
+                            cluster.engines[0].client_write(ctx, 7, "v1"))
+        assert latency < RTT
+
+    def test_upd_carries_causal_history(self):
+        cluster = make_cluster(C.CAUSAL, P.SYNCHRONOUS)
+        ctx = ClientContext(0, 0)
+        run_op(cluster, cluster.engines[0].client_write(ctx, 1, "a"))
+        run_op(cluster, cluster.engines[0].client_write(ctx, 2, "b"))
+        quiesce(cluster)
+        by_type = cluster.metrics.messages_by_type
+        assert by_type[MsgType.UPD.value] == 4  # 2 writes x 2 followers
+        assert MsgType.INV.value not in by_type
+
+    def test_out_of_order_update_buffers_until_dependency(self):
+        """Figure 2(f): d2 (depending on d1) arrives first and buffers."""
+        cluster = make_cluster(C.CAUSAL, P.SYNCHRONOUS)
+        sim = cluster.sim
+        follower = cluster.engines[1]
+        d1 = Message(MsgType.UPD, src=0, op_id=101, key=1, version=(1, 0),
+                     value="d1")
+        d2 = Message(MsgType.UPD, src=0, op_id=102, key=2, version=(1, 0),
+                     value="d2", cauhist=((1, (1, 0)),))
+        # Deliver d2 first.
+        sim.process(follower._handle_message(d2))
+        sim.run(until=sim.now + 5_000)
+        assert follower.replicas.get(2).applied_version == ZERO_VERSION
+        assert follower.causal_buffer_len == 1
+        # Now deliver d1: both apply, in causal order, both persisted.
+        sim.process(follower._handle_message(d1))
+        sim.run(until=sim.now + 20_000)
+        assert follower.replicas.get(1).persisted_value == "d1"
+        assert follower.replicas.get(2).persisted_value == "d2"
+        assert follower.causal_buffer_len == 0
+
+    def test_sync_read_returns_persisted_version(self):
+        """<Causal, Synchronous>: a read returns the latest *persisted*
+        version so that it is recoverable (Figure 2(f))."""
+        cluster = make_cluster(C.CAUSAL, P.SYNCHRONOUS)
+        engine = cluster.engines[0]
+        replica = engine.replicas.get(7)
+        replica.apply((5, 0), "applied-only")
+        replica.mark_persisted((4, 0), "persisted")
+        value, _ = run_op(cluster, engine.client_read(ClientContext(0, 0), 7))
+        assert value == "persisted"
+
+    def test_read_enforced_read_waits_for_local_persist(self):
+        """<Causal, Read-Enforced> (Figure 3(c)): reads stall until the
+        latest visible version is durable."""
+        cluster = make_cluster(C.CAUSAL, P.READ_ENFORCED)
+        engine = cluster.engines[0]
+        ctx = ClientContext(0, 0)
+        run_op(cluster, engine.client_write(ctx, 7, "v1"))
+        value, _ = run_op(cluster, engine.client_read(ClientContext(1, 0), 7))
+        assert value == "v1"
+        replica = engine.replicas.get(7)
+        assert replica.persisted_version >= replica.applied_version
+
+    def test_client_reads_own_write_in_causal_history(self):
+        """A client that reads x then writes y produces y's cauhist
+        containing x."""
+        cluster = make_cluster(C.CAUSAL, P.EVENTUAL)
+        ctx_a = ClientContext(0, 0)
+        run_op(cluster, cluster.engines[0].client_write(ctx_a, 1, "x"))
+        quiesce(cluster)
+        ctx_b = ClientContext(1, 1)
+        run_op(cluster, cluster.engines[1].client_read(ctx_b, 1))
+        assert ctx_b.dependency_count == 1
+
+
+class TestEventualConsistency:
+    def test_propagation_is_lazy(self):
+        cluster = make_cluster(C.EVENTUAL, P.EVENTUAL)
+        ctx = ClientContext(0, 0)
+        run_op(cluster, cluster.engines[0].client_write(ctx, 7, "v1"))
+        delay = cluster.engines[0].config.lazy_propagation_delay_ns
+        cluster.sim.run(until=cluster.sim.now + delay / 2)
+        assert cluster.engines[1].replicas.get(7).applied_version == ZERO_VERSION
+        quiesce(cluster)
+        assert cluster.engines[1].replicas.get(7).applied_value == "v1"
+
+    def test_eventual_persist_is_lazy(self):
+        cluster = make_cluster(C.EVENTUAL, P.EVENTUAL)
+        ctx = ClientContext(0, 0)
+        run_op(cluster, cluster.engines[0].client_write(ctx, 7, "v1"))
+        replica = cluster.engines[0].replicas.get(7)
+        assert replica.persisted_version == ZERO_VERSION
+        quiesce(cluster)
+        assert replica.persisted_value == "v1"
+        for engine in cluster.engines:
+            assert engine.replicas.get(7).persisted_value == "v1"
+
+
+class TestStrictPersistency:
+    def test_write_waits_for_durability_everywhere(self):
+        for consistency in (C.LINEARIZABLE, C.CAUSAL, C.EVENTUAL):
+            cluster = make_cluster(consistency, P.STRICT)
+            ctx = ClientContext(0, 0)
+            _, latency = run_op(cluster,
+                                cluster.engines[0].client_write(ctx, 7, "v"))
+            assert latency >= RTT, consistency
+            for engine in cluster.engines:
+                assert engine.replicas.get(7).persisted_value == "v", consistency
+
+
+class TestTransactional:
+    """Figure 4."""
+
+    def _cluster(self, persistency=P.SYNCHRONOUS):
+        return make_cluster(C.TRANSACTIONAL, persistency)
+
+    def test_commit_flow_applies_and_persists_everywhere(self):
+        cluster = self._cluster()
+        engine = cluster.engines[0]
+        ctx = ClientContext(0, 0)
+        run_op(cluster, engine.client_begin_txn(ctx))
+        run_op(cluster, engine.client_write(ctx, 1, "a"))
+        run_op(cluster, engine.client_write(ctx, 2, "b"))
+        run_op(cluster, engine.client_end_txn(ctx))
+        for e in cluster.engines:
+            assert e.replicas.get(1).persisted_value == "a"
+            assert e.replicas.get(2).persisted_value == "b"
+        assert cluster.txn_table.committed == 1
+
+    def test_writes_inside_txn_are_fast(self):
+        cluster = self._cluster()
+        engine = cluster.engines[0]
+        ctx = ClientContext(0, 0)
+        run_op(cluster, engine.client_begin_txn(ctx))
+        _, latency = run_op(cluster, engine.client_write(ctx, 1, "a"))
+        assert latency < RTT
+        run_op(cluster, engine.client_end_txn(ctx))
+
+    def test_reads_inside_txn_do_not_stall(self):
+        cluster = self._cluster()
+        engine = cluster.engines[0]
+        ctx = ClientContext(0, 0)
+        run_op(cluster, engine.client_begin_txn(ctx))
+        run_op(cluster, engine.client_write(ctx, 1, "a"))
+        value, latency = run_op(cluster, engine.client_read(ctx, 1))
+        assert value == "a"
+        assert latency < RTT
+        run_op(cluster, engine.client_end_txn(ctx))
+
+    def test_conflicting_txn_is_squashed(self):
+        cluster = self._cluster()
+        sim = cluster.sim
+        e0, e1 = cluster.engines[0], cluster.engines[1]
+        ctx_old = ClientContext(0, 0)
+        ctx_young = ClientContext(1, 1)
+        run_op(cluster, e0.client_begin_txn(ctx_old))
+        run_op(cluster, e1.client_begin_txn(ctx_young))
+        run_op(cluster, e0.client_write(ctx_old, 5, "old"))
+        conflict = sim.process(e1.client_write(ctx_young, 5, "young"))
+        with pytest.raises(TxnConflict):
+            sim.run_until_complete(conflict)
+        run_op(cluster, e1.client_abort_txn(ctx_young))
+        run_op(cluster, e0.client_end_txn(ctx_old))
+        assert cluster.txn_table.committed == 1
+        assert cluster.txn_table.aborted == 1
+        quiesce(cluster)
+        for e in cluster.engines:
+            assert e.replicas.get(5).applied_value == "old"
+
+    def test_endx_message_flow(self):
+        cluster = self._cluster()
+        engine = cluster.engines[0]
+        ctx = ClientContext(0, 0)
+        run_op(cluster, engine.client_begin_txn(ctx))
+        run_op(cluster, engine.client_write(ctx, 1, "a"))
+        run_op(cluster, engine.client_end_txn(ctx))
+        quiesce(cluster)
+        by_type = cluster.metrics.messages_by_type
+        assert by_type[MsgType.INITX.value] == 2
+        assert by_type[MsgType.ENDX.value] == 2
+        assert by_type[MsgType.VAL.value] == 2
+
+    def test_abort_leaves_no_transient_state(self):
+        cluster = self._cluster()
+        engine = cluster.engines[0]
+        ctx = ClientContext(0, 0)
+        run_op(cluster, engine.client_begin_txn(ctx))
+        run_op(cluster, engine.client_write(ctx, 1, "a"))
+        cluster.txn_table.abort(ctx.txn)
+        run_op(cluster, engine.client_abort_txn(ctx))
+        quiesce(cluster)
+        for e in cluster.engines:
+            assert not e.replicas.get(1).transient
+
+    def test_txn_eventual_persists_lazily(self):
+        cluster = self._cluster(P.EVENTUAL)
+        engine = cluster.engines[0]
+        ctx = ClientContext(0, 0)
+        run_op(cluster, engine.client_begin_txn(ctx))
+        run_op(cluster, engine.client_write(ctx, 1, "a"))
+        run_op(cluster, engine.client_end_txn(ctx))
+        quiesce(cluster)
+        for e in cluster.engines:
+            assert e.replicas.get(1).persisted_value == "a"
+
+
+class TestScope:
+    """Figure 5."""
+
+    def test_writes_do_not_persist_until_scope_end(self):
+        cluster = make_cluster(C.LINEARIZABLE, P.SCOPE)
+        engine = cluster.engines[0]
+        ctx = ClientContext(0, 0)
+        run_op(cluster, engine.client_write(ctx, 1, "a"))
+        quiesce(cluster)
+        for e in cluster.engines:
+            assert e.replicas.get(1).applied_value == "a"
+            assert e.replicas.get(1).persisted_version == ZERO_VERSION
+
+    def test_persist_call_makes_scope_durable_everywhere(self):
+        cluster = make_cluster(C.LINEARIZABLE, P.SCOPE)
+        engine = cluster.engines[0]
+        ctx = ClientContext(0, 0)
+        run_op(cluster, engine.client_write(ctx, 1, "a"))
+        run_op(cluster, engine.client_write(ctx, 2, "b"))
+        scope_id = ctx.current_scope_id
+        run_op(cluster, engine.client_persist_scope(ctx))
+        for node_id, e in enumerate(cluster.engines):
+            assert e.replicas.get(1).persisted_value == "a"
+            assert e.replicas.get(2).persisted_value == "b"
+            assert cluster.nvm_log.is_scope_committed(node_id, scope_id)
+
+    def test_empty_scope_persist_is_noop(self):
+        cluster = make_cluster(C.LINEARIZABLE, P.SCOPE)
+        engine = cluster.engines[0]
+        ctx = ClientContext(0, 0)
+        run_op(cluster, engine.client_persist_scope(ctx))
+        assert cluster.metrics.persists == 0
+
+    def test_scope_messages_are_tagged(self):
+        cluster = make_cluster(C.LINEARIZABLE, P.SCOPE)
+        engine = cluster.engines[0]
+        ctx = ClientContext(0, 0)
+        run_op(cluster, engine.client_write(ctx, 1, "a"))
+        run_op(cluster, engine.client_persist_scope(ctx))
+        quiesce(cluster)
+        by_type = cluster.metrics.messages_by_type
+        assert by_type[MsgType.PERSIST.value] == 2
+        assert by_type[MsgType.ACK_P.value] == 2
+        assert by_type[MsgType.VAL_P.value] == 2
+
+    def test_causal_scope_persist(self):
+        cluster = make_cluster(C.CAUSAL, P.SCOPE)
+        engine = cluster.engines[0]
+        ctx = ClientContext(0, 0)
+        run_op(cluster, engine.client_write(ctx, 1, "a"))
+        run_op(cluster, engine.client_persist_scope(ctx))
+        for e in cluster.engines:
+            assert e.replicas.get(1).persisted_value == "a"
+
+    def test_scopes_unsupported_elsewhere(self):
+        cluster = make_cluster(C.LINEARIZABLE, P.SYNCHRONOUS)
+        ctx = ClientContext(0, 0)
+        with pytest.raises(RuntimeError):
+            cluster.sim.run_until_complete(cluster.sim.process(
+                cluster.engines[0].client_persist_scope(ctx)))
+
+
+class TestTransactionsUnsupportedOutsideTxnModel:
+    def test_begin_txn_rejected(self):
+        cluster = make_cluster(C.CAUSAL, P.SYNCHRONOUS)
+        ctx = ClientContext(0, 0)
+        with pytest.raises(RuntimeError):
+            cluster.sim.run_until_complete(cluster.sim.process(
+                cluster.engines[0].client_begin_txn(ctx)))

@@ -1,0 +1,76 @@
+"""Tests that the behavioral policies encode the paper's protocols."""
+
+from repro.core.model import Consistency as C, DdpModel, Persistency as P
+from repro.core.policies import (
+    CONSISTENCY_POLICIES,
+    PERSISTENCY_POLICIES,
+    PersistMode,
+    policy_for,
+)
+
+
+class TestConsistencyPolicies:
+    def test_only_linearizable_blocks_writes_on_acks(self):
+        for c, policy in CONSISTENCY_POLICIES.items():
+            assert policy.write_waits_for_acks == (c is C.LINEARIZABLE)
+
+    def test_invalidation_models(self):
+        for c, policy in CONSISTENCY_POLICIES.items():
+            assert policy.uses_inv == (c in (C.LINEARIZABLE, C.READ_ENFORCED,
+                                             C.TRANSACTIONAL))
+
+    def test_read_stall_models(self):
+        """Linearizable and Read-Enforced reads stall until validation."""
+        stalling = {c for c, p in CONSISTENCY_POLICIES.items()
+                    if p.read_stalls_on_transient}
+        assert stalling == {C.LINEARIZABLE, C.READ_ENFORCED}
+
+    def test_flags_exclusive(self):
+        causal = CONSISTENCY_POLICIES[C.CAUSAL]
+        assert causal.causal and not causal.transactional
+        txn = CONSISTENCY_POLICIES[C.TRANSACTIONAL]
+        assert txn.transactional and not txn.causal
+        eventual = CONSISTENCY_POLICIES[C.EVENTUAL]
+        assert eventual.lazy_propagation
+
+
+class TestPersistencyPolicies:
+    def test_persist_modes(self):
+        assert PERSISTENCY_POLICIES[P.STRICT].persist_mode is PersistMode.INLINE
+        assert PERSISTENCY_POLICIES[P.SYNCHRONOUS].persist_mode is PersistMode.INLINE
+        assert (PERSISTENCY_POLICIES[P.READ_ENFORCED].persist_mode
+                is PersistMode.EAGER_BACKGROUND)
+        assert PERSISTENCY_POLICIES[P.SCOPE].persist_mode is PersistMode.ON_SCOPE_END
+        assert (PERSISTENCY_POLICIES[P.EVENTUAL].persist_mode
+                is PersistMode.LAZY_BACKGROUND)
+
+    def test_only_strict_blocks_writes_on_durability(self):
+        for p, policy in PERSISTENCY_POLICIES.items():
+            assert (policy.write_waits_for_persist_everywhere
+                    == (p is P.STRICT))
+
+    def test_only_read_enforced_stalls_reads_on_persist(self):
+        for p, policy in PERSISTENCY_POLICIES.items():
+            assert (policy.read_requires_applied_persisted
+                    == (p is P.READ_ENFORCED))
+
+    def test_dual_acks_only_read_enforced(self):
+        for p, policy in PERSISTENCY_POLICIES.items():
+            assert policy.dual_acks == (p is P.READ_ENFORCED)
+
+    def test_sync_reads_return_persisted(self):
+        assert PERSISTENCY_POLICIES[P.SYNCHRONOUS].read_returns_persisted
+        assert not PERSISTENCY_POLICIES[P.EVENTUAL].read_returns_persisted
+
+    def test_deps_require_persist(self):
+        """Figure 2(f): under Synchronous persistency a causal update's
+        dependencies must be durable before it applies."""
+        assert PERSISTENCY_POLICIES[P.SYNCHRONOUS].deps_require_persist
+        assert PERSISTENCY_POLICIES[P.STRICT].deps_require_persist
+        assert not PERSISTENCY_POLICIES[P.EVENTUAL].deps_require_persist
+
+
+def test_policy_for_returns_pair():
+    cpolicy, ppolicy = policy_for(DdpModel(C.CAUSAL, P.SCOPE))
+    assert cpolicy.model is C.CAUSAL
+    assert ppolicy.model is P.SCOPE

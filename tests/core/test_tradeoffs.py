@@ -1,0 +1,94 @@
+"""The trade-off derivation must reproduce the paper's Table 4 exactly.
+
+Each test case is one row of Table 4 (values transcribed from the
+paper); the derivation rules in :mod:`repro.core.tradeoffs` must agree
+on every column.
+"""
+
+import pytest
+
+from repro.core.model import Consistency as C
+from repro.core.model import DdpModel, Persistency as P
+from repro.core.tradeoffs import TABLE4_MODELS, Level, analyze, analyze_all
+
+H, M, L = Level.HIGH, Level.MEDIUM, Level.LOW
+
+# (consistency, persistency) -> (durability, wr_opt, rd_opt, traffic,
+#                                perf, monotonic, non_stale, intuit,
+#                                programmability, implementability)
+TABLE4 = {
+    (C.LINEARIZABLE, P.SYNCHRONOUS):  (H, False, False, M, L, True, True, H, H, H),
+    (C.READ_ENFORCED, P.SYNCHRONOUS): (M, True, False, M, M, True, False, M, H, H),
+    (C.TRANSACTIONAL, P.SYNCHRONOUS): (H, True, True, H, H, True, True, H, L, L),
+    (C.CAUSAL, P.SYNCHRONOUS):        (M, True, True, H, H, True, False, M, H, L),
+    (C.EVENTUAL, P.SYNCHRONOUS):      (L, True, True, L, H, False, False, L, H, H),
+    (C.LINEARIZABLE, P.READ_ENFORCED): (M, True, False, H, M, True, False, M, H, H),
+    (C.CAUSAL, P.READ_ENFORCED):      (M, True, False, H, H, True, False, M, H, L),
+    (C.LINEARIZABLE, P.EVENTUAL):     (L, True, True, M, H, False, False, L, H, H),
+    (C.LINEARIZABLE, P.SCOPE):        (H, True, True, H, H, False, False, H, L, L),
+    (C.TRANSACTIONAL, P.SCOPE):       (H, True, True, H, H, False, False, H, L, L),
+}
+
+
+@pytest.mark.parametrize("pair", list(TABLE4), ids=lambda p: f"{p[0].value}-{p[1].value}")
+def test_table4_row(pair):
+    expected = TABLE4[pair]
+    profile = analyze(DdpModel(*pair))
+    assert profile.durability == expected[0], "durability"
+    assert profile.write_optimized == expected[1], "write optimized"
+    assert profile.read_optimized == expected[2], "read optimized"
+    assert profile.traffic == expected[3], "traffic"
+    assert profile.performance == expected[4], "performance"
+    assert profile.monotonic_reads == expected[5], "monotonic reads"
+    assert profile.non_stale_reads == expected[6], "non-stale reads"
+    assert profile.intuitiveness == expected[7], "intuitiveness"
+    assert profile.programmability == expected[8], "programmability"
+    assert profile.implementability == expected[9], "implementability"
+
+
+class TestTable4Scaffolding:
+    def test_table4_model_list_matches_paper_order(self):
+        assert TABLE4_MODELS[0] == DdpModel(C.LINEARIZABLE, P.SYNCHRONOUS)
+        assert TABLE4_MODELS[-1] == DdpModel(C.TRANSACTIONAL, P.SCOPE)
+        assert len(TABLE4_MODELS) == 10
+
+    def test_analyze_all_default(self):
+        profiles = analyze_all()
+        assert [p.model for p in profiles] == TABLE4_MODELS
+
+    def test_row_renders(self):
+        row = analyze(TABLE4_MODELS[0]).row()
+        assert "dur=^" in row and "monot=yes" in row
+
+
+class TestDerivationGeneralizes:
+    """Sanity rules for the 15 combinations not shown in Table 4."""
+
+    def test_strict_always_high_durability(self):
+        for c in C:
+            assert analyze(DdpModel(c, P.STRICT)).durability == H
+
+    def test_strict_never_write_optimized(self):
+        for c in C:
+            assert not analyze(DdpModel(c, P.STRICT)).write_optimized
+
+    def test_eventual_persistency_low_durability(self):
+        for c in C:
+            assert analyze(DdpModel(c, P.EVENTUAL)).durability == L
+
+    def test_eventual_consistency_never_monotonic(self):
+        for p in P:
+            assert not analyze(DdpModel(C.EVENTUAL, p)).monotonic_reads
+
+    def test_durability_monotone_in_persistency_strictness(self):
+        """For a fixed consistency model, stricter persistency never
+        gives *lower* durability (Scope outranks its position because
+        completed scopes are fully recoverable)."""
+        for c in C:
+            strict = analyze(DdpModel(c, P.STRICT)).durability
+            eventual = analyze(DdpModel(c, P.EVENTUAL)).durability
+            assert strict >= eventual
+
+    def test_performance_never_low_with_weak_consistency(self):
+        for p in (P.SYNCHRONOUS, P.READ_ENFORCED, P.SCOPE, P.EVENTUAL):
+            assert analyze(DdpModel(C.EVENTUAL, p)).performance == H

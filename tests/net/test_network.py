@@ -1,0 +1,134 @@
+"""Tests for the network fabric and NIC model."""
+
+import pytest
+
+from repro.net.network import Network, NetworkConfig
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def make_net(sim, **kwargs):
+    network = Network(sim, NetworkConfig(**kwargs))
+    for node in range(3):
+        network.attach(node)
+    return network
+
+
+class TestConfig:
+    def test_defaults_match_table5(self):
+        config = NetworkConfig()
+        assert config.round_trip_ns == 1000.0
+        assert config.bandwidth_bytes_per_ns == 25.0  # 200 Gb/s
+        assert config.queue_pairs == 400
+
+    def test_one_way(self):
+        assert NetworkConfig(round_trip_ns=500).one_way_ns == 250.0
+
+
+class TestSend:
+    def test_delivery_latency(self, sim):
+        network = make_net(sim)
+        delivered = network.send(0, 1, "hello", size_bytes=100)
+        sim.run()
+        assert delivered.ok
+        # serialization (100/25 = 4 ns) + one way (500 ns)
+        assert sim.now == pytest.approx(504.0)
+
+    def test_message_lands_in_inbox(self, sim):
+        network = make_net(sim)
+        received = []
+
+        def receiver():
+            message = yield network.nic(1).receive()
+            received.append((sim.now, message))
+
+        sim.process(receiver())
+        network.send(0, 1, "payload", size_bytes=25)
+        sim.run()
+        assert received == [(pytest.approx(501.0), "payload")]
+
+    def test_loopback_rejected(self, sim):
+        network = make_net(sim)
+        with pytest.raises(ValueError):
+            network.send(0, 0, "x", 10)
+
+    def test_byte_accounting(self, sim):
+        network = make_net(sim)
+        network.send(0, 1, "a", 100)
+        network.send(0, 2, "b", 50)
+        sim.run()
+        assert network.total_messages == 2
+        assert network.total_bytes == 150
+        assert network.nic(0).bytes_sent == 150
+        assert network.nic(1).bytes_received == 100
+
+    def test_filter_drops(self, sim):
+        network = make_net(sim)
+        network.filter = lambda src, dst, msg: dst != 1
+        dropped = network.send(0, 1, "x", 10)
+        passed = network.send(0, 2, "y", 10)
+        sim.run()
+        assert not dropped.triggered
+        assert passed.ok
+
+    def test_broadcast_reaches_all(self, sim):
+        network = make_net(sim)
+        events = network.broadcast(0, [1, 2], "b", 64)
+        sim.run()
+        assert len(events) == 2
+        assert network.nic(1).messages_received == 1
+        assert network.nic(2).messages_received == 1
+
+    def test_duplicate_attach_rejected(self, sim):
+        network = make_net(sim)
+        with pytest.raises(ValueError):
+            network.attach(0)
+
+
+class TestQueuePairs:
+    def test_queue_pair_throttling(self, sim):
+        """With a single queue pair, serializations pipeline."""
+        network = Network(sim, NetworkConfig(queue_pairs=1,
+                                             bandwidth_bytes_per_ns=1.0,
+                                             round_trip_ns=0.0))
+        network.attach(0)
+        network.attach(1)
+        arrivals = []
+
+        def receiver():
+            while True:
+                yield network.nic(1).receive()
+                arrivals.append(sim.now)
+                if len(arrivals) == 2:
+                    return
+
+        sim.process(receiver())
+        network.send(0, 1, "a", 100)   # 100 ns serialization
+        network.send(0, 1, "b", 100)
+        sim.run()
+        assert arrivals == [pytest.approx(100.0), pytest.approx(200.0)]
+
+    def test_parallel_queue_pairs(self, sim):
+        network = Network(sim, NetworkConfig(queue_pairs=2,
+                                             bandwidth_bytes_per_ns=1.0,
+                                             round_trip_ns=0.0))
+        network.attach(0)
+        network.attach(1)
+        arrivals = []
+
+        def receiver():
+            while True:
+                yield network.nic(1).receive()
+                arrivals.append(sim.now)
+                if len(arrivals) == 2:
+                    return
+
+        sim.process(receiver())
+        network.send(0, 1, "a", 100)
+        network.send(0, 1, "b", 100)
+        sim.run()
+        assert arrivals == [pytest.approx(100.0), pytest.approx(100.0)]

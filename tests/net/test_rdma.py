@@ -1,0 +1,78 @@
+"""Tests for the RDMA verbs (including SNIA NVM extensions)."""
+
+import pytest
+
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.net.network import Network, NetworkConfig
+from repro.net.rdma import RdmaFabric
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededStream
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    network = Network(sim, NetworkConfig())
+    fabric = RdmaFabric(sim, network)
+    memories = {}
+    for node in range(2):
+        network.attach(node)
+        memory = MemoryHierarchy(sim, SeededStream(node), name=f"n{node}")
+        fabric.register(node, memory)
+        memories[node] = memory
+    return sim, fabric, memories
+
+
+class TestRdmaVerbs:
+    def test_write_updates_remote_volatile(self, setup):
+        sim, fabric, memories = setup
+
+        def proc():
+            yield from fabric.endpoint(0).write(1, address=7, size_bytes=64)
+
+        sim.process(proc())
+        sim.run()
+        assert memories[1].caches.llc.ddio_deposits == 1
+        # serialization (64/25) + one-way (500) + LLC (19) + ack (500)
+        assert sim.now == pytest.approx(64 / 25 + 500 + 19 + 500)
+
+    def test_write_persist_reaches_remote_nvm(self, setup):
+        sim, fabric, memories = setup
+
+        def proc():
+            yield from fabric.endpoint(0).write_persist(1, address=7)
+
+        sim.process(proc())
+        sim.run()
+        assert memories[1].nvm.persists == 1
+        assert sim.now == pytest.approx(64 / 25 + 500 + 400 + 500)
+
+    def test_flush_persists_remote(self, setup):
+        sim, fabric, memories = setup
+
+        def proc():
+            yield from fabric.endpoint(0).flush(1, address=7)
+
+        sim.process(proc())
+        sim.run()
+        assert memories[1].nvm.persists == 1
+
+    def test_verb_counters(self, setup):
+        sim, fabric, memories = setup
+        endpoint = fabric.endpoint(0)
+
+        def proc():
+            yield from endpoint.write(1, 1)
+            yield from endpoint.write_persist(1, 2)
+            yield from endpoint.flush(1, 2)
+
+        sim.process(proc())
+        sim.run()
+        assert endpoint.writes == 1
+        assert endpoint.persist_writes == 1
+        assert endpoint.flushes == 1
+
+    def test_duplicate_register_rejected(self, setup):
+        sim, fabric, memories = setup
+        with pytest.raises(ValueError):
+            fabric.register(0, memories[0])

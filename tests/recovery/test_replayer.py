@@ -1,0 +1,68 @@
+"""Tests for the simulated recovery process."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import ClusterConfig
+from repro.core.context import ClientContext
+from repro.core.model import Consistency as C, DdpModel, Persistency as P
+from repro.recovery.replayer import RecoveryReplayer
+
+
+def crashed_cluster(consistency, persistency, writes=30):
+    cluster = Cluster(DdpModel(consistency, persistency),
+                      config=ClusterConfig(servers=3, clients_per_server=0,
+                                           store_type=None))
+    cluster.start()
+    engine = cluster.engines[0]
+    ctx = ClientContext(0, 0)
+    for i in range(writes):
+        cluster.sim.run_until_complete(
+            cluster.sim.process(engine.client_write(ctx, i, f"v{i}")))
+    cluster.crash_all()
+    return cluster
+
+
+class TestReplayer:
+    def test_scan_time_scales_with_image_size(self):
+        small = RecoveryReplayer(crashed_cluster(
+            C.LINEARIZABLE, P.SYNCHRONOUS, writes=5)).simulate()
+        large = RecoveryReplayer(crashed_cluster(
+            C.LINEARIZABLE, P.SYNCHRONOUS, writes=60)).simulate()
+        assert large.scan_ns > small.scan_ns
+        assert large.total_keys > small.total_keys
+
+    def test_strict_recovery_has_no_divergence(self):
+        report = RecoveryReplayer(crashed_cluster(
+            C.LINEARIZABLE, P.STRICT)).simulate()
+        assert report.divergent_keys == 0
+        assert report.divergence_fraction == 0.0
+
+    def test_weak_models_pay_more_reconciliation(self):
+        """Eventual persistency diverges (mid-flight lazy persists), and
+        the voting strategy costs an extra round."""
+        strict = RecoveryReplayer(crashed_cluster(
+            C.LINEARIZABLE, P.STRICT)).simulate("latest")
+        weak_cluster = crashed_cluster(C.EVENTUAL, P.SYNCHRONOUS)
+        weak = RecoveryReplayer(weak_cluster).simulate("latest")
+        weak_voting = RecoveryReplayer(weak_cluster).simulate("majority")
+        assert weak_voting.reconcile_ns > weak.reconcile_ns
+        assert strict.reconcile_ns <= weak_voting.reconcile_ns
+
+    def test_recovered_state_returned(self):
+        report = RecoveryReplayer(crashed_cluster(
+            C.LINEARIZABLE, P.SYNCHRONOUS, writes=10)).simulate()
+        assert len(report.state) == 10
+        assert report.state.value_of(3) == "v3"
+
+    def test_total_is_scan_plus_reconcile(self):
+        report = RecoveryReplayer(crashed_cluster(
+            C.LINEARIZABLE, P.SYNCHRONOUS)).simulate()
+        assert report.total_ns == pytest.approx(
+            report.scan_ns + report.reconcile_ns)
+
+    def test_unknown_strategy_rejected(self):
+        replayer = RecoveryReplayer(crashed_cluster(
+            C.LINEARIZABLE, P.SYNCHRONOUS, writes=2))
+        with pytest.raises(ValueError):
+            replayer.simulate("quorum-intersection")

@@ -1,0 +1,309 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_starts_pending(self, sim):
+        event = sim.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_carries_value(self, sim):
+        event = sim.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_double_trigger_rejected(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        event = sim.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+        with pytest.raises(SimulationError):
+            _ = event.ok
+
+
+class TestTimeout:
+    def test_advances_clock(self, sim):
+        sim.timeout(10.0)
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_timeout_value(self, sim):
+        results = []
+
+        def proc():
+            value = yield sim.timeout(5, value="hello")
+            results.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert results == ["hello"]
+
+
+class TestProcess:
+    def test_return_value(self, sim):
+        def proc():
+            yield sim.timeout(3)
+            return "done"
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.ok and p.value == "done"
+        assert sim.now == 3.0
+
+    def test_sequential_timeouts_accumulate(self, sim):
+        def proc():
+            yield sim.timeout(2)
+            yield sim.timeout(3)
+
+        sim.process(proc())
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_processes_interleave(self, sim):
+        log = []
+
+        def worker(name, delay):
+            yield sim.timeout(delay)
+            log.append((sim.now, name))
+
+        sim.process(worker("b", 2))
+        sim.process(worker("a", 1))
+        sim.run()
+        assert log == [(1.0, "a"), (2.0, "b")]
+
+    def test_wait_on_another_process(self, sim):
+        def child():
+            yield sim.timeout(7)
+            return 99
+
+        def parent():
+            value = yield sim.process(child())
+            return value + 1
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == 100
+
+    def test_unhandled_failure_surfaces(self, sim):
+        def bad():
+            yield sim.timeout(1)
+            raise RuntimeError("boom")
+
+        sim.process(bad())
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+
+    def test_failure_consumed_by_waiter(self, sim):
+        caught = []
+
+        def bad():
+            yield sim.timeout(1)
+            raise ValueError("inner")
+
+        def parent():
+            try:
+                yield sim.process(bad())
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.process(parent())
+        sim.run()
+        assert caught == ["inner"]
+
+    def test_yield_non_event_fails_process(self, sim):
+        def bad():
+            yield 42
+
+        p = sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+        assert p.triggered and not p.ok
+
+    def test_interrupt(self, sim):
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100)
+            except Interrupt as interrupt:
+                log.append((sim.now, interrupt.cause))
+
+        p = sim.process(sleeper())
+
+        def interrupter():
+            yield sim.timeout(5)
+            p.interrupt("wake up")
+
+        sim.process(interrupter())
+        sim.run()
+        assert log == [(5.0, "wake up")]
+
+    def test_interrupt_finished_process_rejected(self, sim):
+        def quick():
+            yield sim.timeout(1)
+
+        p = sim.process(quick())
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_is_alive(self, sim):
+        def proc():
+            yield sim.timeout(1)
+
+        p = sim.process(proc())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+    def test_requires_generator(self, sim):
+        with pytest.raises(TypeError):
+            Process(sim, lambda: None)
+
+
+class TestCombinators:
+    def test_all_of_waits_for_all(self, sim):
+        def proc():
+            events = [sim.timeout(3, value="x"), sim.timeout(1, value="y")]
+            values = yield sim.all_of(events)
+            return values
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == ["x", "y"]
+        assert sim.now == 3.0
+
+    def test_all_of_empty(self, sim):
+        def proc():
+            yield sim.all_of([])
+            return "ok"
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == "ok"
+
+    def test_any_of_returns_first(self, sim):
+        def proc():
+            result = yield sim.any_of([sim.timeout(5, value="slow"),
+                                       sim.timeout(1, value="fast")])
+            return result
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == (1, "fast")
+        assert sim.now <= 5.0
+
+    def test_any_of_empty_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.any_of([])
+
+    def test_all_of_propagates_failure(self, sim):
+        def bad():
+            yield sim.timeout(1)
+            raise RuntimeError("child failed")
+
+        def parent():
+            yield sim.all_of([sim.process(bad()), sim.timeout(10)])
+
+        sim.process(parent())
+        with pytest.raises(RuntimeError, match="child failed"):
+            sim.run()
+
+
+class TestSimulator:
+    def test_run_until(self, sim):
+        def ticker():
+            while True:
+                yield sim.timeout(1)
+
+        sim.process(ticker())
+        sim.run(until=10.5)
+        assert sim.now == 10.5
+
+    def test_run_until_past_rejected(self, sim):
+        sim.timeout(5)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.run(until=1.0)
+
+    def test_deterministic_tie_break(self):
+        """Same-time events fire in scheduling order, reproducibly."""
+        def build_log():
+            sim = Simulator()
+            log = []
+
+            def emitter(tag):
+                yield sim.timeout(5)
+                log.append(tag)
+
+            for tag in ["a", "b", "c", "d"]:
+                sim.process(emitter(tag))
+            sim.run()
+            return log
+
+        assert build_log() == build_log() == ["a", "b", "c", "d"]
+
+    def test_call_at(self, sim):
+        fired = []
+        sim.call_at(7.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [7.0]
+
+    def test_call_at_past_rejected(self, sim):
+        sim.timeout(5)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_peek(self, sim):
+        assert sim.peek() == float("inf")
+        sim.timeout(4)
+        assert sim.peek() == 4.0
+
+    def test_run_until_complete(self, sim):
+        def proc():
+            yield sim.timeout(2)
+            return 5
+
+        assert sim.run_until_complete(sim.process(proc())) == 5
+
+    def test_run_until_complete_deadlock_detected(self, sim):
+        def stuck():
+            yield sim.event()  # nobody will ever trigger this
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_until_complete(sim.process(stuck()))

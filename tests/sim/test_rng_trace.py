@@ -1,0 +1,88 @@
+"""Tests for deterministic RNG streams and tracing."""
+
+from repro.sim.rng import SeededStream
+from repro.sim.trace import NullTracer, Tracer
+
+
+class TestSeededStream:
+    def test_same_seed_same_draws(self):
+        a = SeededStream(42)
+        b = SeededStream(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = SeededStream(1)
+        b = SeededStream(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_fork_is_stable(self):
+        root1 = SeededStream(7)
+        root2 = SeededStream(7)
+        assert (root1.fork("child").random()
+                == root2.fork("child").random())
+
+    def test_fork_isolation(self):
+        """Draws from one fork do not shift a sibling fork's stream."""
+        root1 = SeededStream(7)
+        fork_a1 = root1.fork("a")
+        _ = [fork_a1.random() for _ in range(100)]
+        value_b1 = root1.fork("b").random()
+
+        root2 = SeededStream(7)
+        value_b2 = root2.fork("b").random()
+        assert value_b1 == value_b2
+
+    def test_fork_names_compose(self):
+        stream = SeededStream(3).fork("x").fork("y")
+        assert stream.name == "root/x/y"
+
+    def test_helpers_in_range(self):
+        stream = SeededStream(11)
+        for _ in range(100):
+            assert 0 <= stream.randint(0, 9) <= 9
+            assert 1.0 <= stream.uniform(1.0, 2.0) <= 2.0
+        assert stream.choice([1, 2, 3]) in (1, 2, 3)
+
+    def test_state_roundtrip(self):
+        stream = SeededStream(5)
+        state = stream.getstate()
+        first = stream.random()
+        stream.setstate(state)
+        assert stream.random() == first
+
+
+class TestTracer:
+    def test_records_and_counts(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "send", node=0, msg="INV")
+        tracer.emit(2.0, "recv", node=1, msg="INV")
+        tracer.emit(3.0, "send", node=1, msg="ACK")
+        assert len(tracer) == 3
+        assert tracer.count("send") == 2
+        assert [r.time for r in tracer.by_category("recv")] == [2.0]
+
+    def test_category_filter(self):
+        tracer = Tracer(categories=["persist"])
+        tracer.emit(1.0, "send", node=0)
+        tracer.emit(2.0, "persist", node=0)
+        assert len(tracer) == 1
+
+    def test_dump_format(self):
+        tracer = Tracer()
+        tracer.emit(1.5, "send", node=0, key=7)
+        dump = tracer.dump()
+        assert "send" in dump and "key=7" in dump and "n0" in dump
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "x")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_null_tracer_is_inert(self):
+        tracer = NullTracer()
+        tracer.emit(1.0, "anything", node=3)
+        assert len(tracer) == 0
+        assert tracer.dump() == ""
+        assert tracer.count("anything") == 0
+        assert not tracer.enabled

@@ -1,0 +1,234 @@
+"""Unit tests for simulation synchronization primitives."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.sync import Condition, Latch, Resource, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, 0)
+
+    def test_immediate_grant_under_capacity(self, sim):
+        resource = Resource(sim, 2)
+        log = []
+
+        def user(name):
+            yield resource.acquire()
+            log.append((sim.now, name, "in"))
+            yield sim.timeout(10)
+            resource.release()
+
+        sim.process(user("a"))
+        sim.process(user("b"))
+        sim.run()
+        assert [(t, n) for t, n, _ in log] == [(0.0, "a"), (0.0, "b")]
+
+    def test_fifo_queueing(self, sim):
+        resource = Resource(sim, 1)
+        order = []
+
+        def user(name, hold):
+            yield resource.acquire()
+            order.append(name)
+            yield sim.timeout(hold)
+            resource.release()
+
+        sim.process(user("first", 5))
+        sim.process(user("second", 5))
+        sim.process(user("third", 5))
+        sim.run()
+        assert order == ["first", "second", "third"]
+        assert sim.now == 15.0
+
+    def test_release_idle_rejected(self, sim):
+        resource = Resource(sim, 1)
+        with pytest.raises(RuntimeError):
+            resource.release()
+
+    def test_use_helper(self, sim):
+        resource = Resource(sim, 1)
+
+        def user():
+            yield from resource.use(7)
+
+        sim.process(user())
+        sim.process(user())
+        sim.run()
+        assert sim.now == 14.0
+        assert resource.in_use == 0
+
+    def test_telemetry(self, sim):
+        resource = Resource(sim, 1)
+
+        def user():
+            yield from resource.use(1)
+
+        for _ in range(3):
+            sim.process(user())
+        sim.run()
+        assert resource.total_acquires == 3
+        assert resource.peak_queue_len == 2
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        results = []
+
+        def getter():
+            item = yield store.get()
+            results.append(item)
+
+        store.put("x")
+        sim.process(getter())
+        sim.run()
+        assert results == ["x"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        results = []
+
+        def getter():
+            item = yield store.get()
+            results.append((sim.now, item))
+
+        def putter():
+            yield sim.timeout(5)
+            store.put("late")
+
+        sim.process(getter())
+        sim.process(putter())
+        sim.run()
+        assert results == [(5.0, "late")]
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        results = []
+
+        def getter():
+            while True:
+                item = yield store.get()
+                results.append(item)
+                if item == 3:
+                    return
+
+        for i in (1, 2, 3):
+            store.put(i)
+        sim.process(getter())
+        sim.run()
+        assert results == [1, 2, 3]
+
+    def test_len_and_peak(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.peak_len == 2
+
+
+class TestLatch:
+    def test_zero_count_is_immediately_done(self, sim):
+        latch = Latch(sim, 0)
+        assert latch.event.triggered
+
+    def test_counts_down(self, sim):
+        latch = Latch(sim, 3)
+        done = []
+
+        def waiter():
+            yield latch.wait()
+            done.append(sim.now)
+
+        def arriver():
+            for _ in range(3):
+                yield sim.timeout(2)
+                latch.arrive()
+
+        sim.process(waiter())
+        sim.process(arriver())
+        sim.run()
+        assert done == [6.0]
+
+    def test_overrun_rejected(self, sim):
+        latch = Latch(sim, 1)
+        latch.arrive()
+        with pytest.raises(RuntimeError):
+            latch.arrive()
+
+    def test_negative_count_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Latch(sim, -1)
+
+
+class TestCondition:
+    def test_immediate_when_true(self, sim):
+        condition = Condition(sim)
+        state = {"ready": True}
+        done = []
+
+        def waiter():
+            yield condition.wait_for(lambda: state["ready"])
+            done.append(sim.now)
+
+        sim.process(waiter())
+        sim.run()
+        assert done == [0.0]
+
+    def test_wakes_on_notify(self, sim):
+        condition = Condition(sim)
+        state = {"value": 0}
+        done = []
+
+        def waiter():
+            yield condition.wait_for(lambda: state["value"] >= 2)
+            done.append(sim.now)
+
+        def mutator():
+            for _ in range(2):
+                yield sim.timeout(3)
+                state["value"] += 1
+                condition.notify()
+
+        sim.process(waiter())
+        sim.process(mutator())
+        sim.run()
+        assert done == [6.0]
+
+    def test_multiple_waiters_selective_wake(self, sim):
+        condition = Condition(sim)
+        state = {"value": 0}
+        done = []
+
+        def waiter(threshold):
+            yield condition.wait_for(lambda: state["value"] >= threshold)
+            done.append((sim.now, threshold))
+
+        def mutator():
+            for _ in range(3):
+                yield sim.timeout(1)
+                state["value"] += 1
+                condition.notify()
+
+        sim.process(waiter(1))
+        sim.process(waiter(3))
+        sim.process(mutator())
+        sim.run()
+        assert done == [(1.0, 1), (3.0, 3)]
+
+    def test_waiter_count(self, sim):
+        condition = Condition(sim)
+
+        def waiter():
+            yield condition.wait_for(lambda: False)
+
+        sim.process(waiter())
+        sim.run(until=1)
+        assert condition.waiter_count == 1

@@ -1,0 +1,119 @@
+"""Property-based tests: every store behaves like a Python dict."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.store import STORE_TYPES, make_store
+
+KEYS = st.integers(min_value=0, max_value=500)
+VALUES = st.integers(min_value=-10_000, max_value=10_000)
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), KEYS, VALUES),
+        st.tuples(st.just("get"), KEYS, st.just(0)),
+        st.tuples(st.just("delete"), KEYS, st.just(0)),
+    ),
+    max_size=200,
+)
+
+
+@pytest.mark.parametrize("store_name",
+                         ["hashtable", "sortedmap", "btree", "bplustree"])
+@given(ops=OPS)
+@settings(max_examples=60, deadline=None)
+def test_store_matches_dict_model(store_name, ops):
+    """Interleaved puts/gets/deletes agree with a dict reference."""
+    store = make_store(store_name)
+    model = {}
+    for op, key, value in ops:
+        if op == "put":
+            store.put(key, value)
+            model[key] = value
+        elif op == "get":
+            assert store.get(key) == model.get(key)
+        else:
+            assert store.delete(key) == (key in model)
+            model.pop(key, None)
+    assert len(store) == len(model)
+    assert dict(store.items()) == model
+
+
+@pytest.mark.parametrize("store_name", ["sortedmap", "btree", "bplustree"])
+@given(keys=st.lists(KEYS, unique=True, max_size=150))
+@settings(max_examples=40, deadline=None)
+def test_ordered_stores_iterate_sorted(store_name, keys):
+    store = make_store(store_name)
+    for key in keys:
+        store.put(key, key)
+    assert [k for k, _ in store.items()] == sorted(keys)
+
+
+@pytest.mark.parametrize("store_name", ["sortedmap", "bplustree"])
+@given(keys=st.lists(KEYS, unique=True, min_size=1, max_size=100),
+       bounds=st.tuples(KEYS, KEYS))
+@settings(max_examples=40, deadline=None)
+def test_range_query_matches_filter(store_name, keys, bounds):
+    low, high = min(bounds), max(bounds)
+    store = make_store(store_name)
+    for key in keys:
+        store.put(key, key * 3)
+    expected = [(k, k * 3) for k in sorted(keys) if low <= k <= high]
+    assert store.range(low, high) == expected
+
+
+@given(ops=OPS)
+@settings(max_examples=40, deadline=None)
+def test_memcached_never_exceeds_capacity(ops):
+    """The memcached store may evict, but never corrupts what it keeps."""
+    store = make_store("memcached")
+    model = {}
+    for op, key, value in ops:
+        if op == "put":
+            store.put(key, value)
+            model[key] = value
+        elif op == "delete":
+            store.delete(key)
+            model.pop(key, None)
+        else:
+            got = store.get(key)
+            # Eviction may lose the key, but a present value must be right.
+            if got is not None:
+                assert got == model.get(key)
+    for slab_chunk, used, max_chunks in store.slab_stats():
+        assert used <= max_chunks
+
+
+class HashTableMachine(RuleBasedStateMachine):
+    """Stateful test of the open-addressing hash table with tombstones."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = make_store("hashtable")
+        self.model = {}
+
+    @rule(key=KEYS, value=VALUES)
+    def put(self, key, value):
+        self.table.put(key, value)
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        assert self.table.delete(key) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(key=KEYS)
+    def get(self, key):
+        assert self.table.get(key) == self.model.get(key)
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.table) == len(self.model)
+
+
+TestHashTableStateful = HashTableMachine.TestCase
+TestHashTableStateful.settings = settings(max_examples=25,
+                                          stateful_step_count=50,
+                                          deadline=None)

@@ -1,0 +1,111 @@
+"""Tests for transaction bookkeeping and conflict detection."""
+
+import pytest
+
+from repro.txn.manager import Txn, TxnConflict, TxnTable
+
+
+@pytest.fixture
+def table():
+    return TxnTable()
+
+
+class TestLifecycle:
+    def test_begin_assigns_increasing_ids(self, table):
+        t1 = table.begin(node=0, client=0)
+        t2 = table.begin(node=1, client=1)
+        assert t2.txn_id > t1.txn_id
+        assert table.active_count == 2
+
+    def test_commit_removes(self, table):
+        txn = table.begin(0, 0)
+        table.commit(txn)
+        assert table.active_count == 0
+        assert table.committed == 1
+
+    def test_abort_marks_and_removes(self, table):
+        txn = table.begin(0, 0)
+        table.abort(txn)
+        assert txn.aborted
+        assert table.active_count == 0
+        assert table.aborted == 1
+
+
+class TestConflicts:
+    def test_no_conflict_on_disjoint_keys(self, table):
+        t1 = table.begin(0, 0)
+        t2 = table.begin(1, 1)
+        table.check_access(t1, 1, is_write=True)
+        table.check_access(t2, 2, is_write=True)
+        assert table.conflicts == 0
+
+    def test_read_read_never_conflicts(self, table):
+        t1 = table.begin(0, 0)
+        t2 = table.begin(1, 1)
+        table.check_access(t1, 5, is_write=False)
+        table.check_access(t2, 5, is_write=False)
+        assert table.conflicts == 0
+
+    def test_write_write_conflict_squashes_younger(self, table):
+        old = table.begin(0, 0)
+        young = table.begin(1, 1)
+        table.check_access(old, 7, is_write=True)
+        with pytest.raises(TxnConflict):
+            table.check_access(young, 7, is_write=True)
+        assert young.aborted
+        assert not old.aborted
+        assert table.conflicts == 1
+
+    def test_older_txn_wins_and_victim_discovers_later(self, table):
+        young_first = table.begin(0, 0)
+        older_is_actually_younger = table.begin(1, 1)
+        # The *older id* txn accesses second: the younger is squashed
+        # in-place and discovers it at its next access.
+        table.check_access(older_is_actually_younger, 3, is_write=True)
+        table.check_access(young_first, 3, is_write=True)  # older id wins
+        assert older_is_actually_younger.aborted
+        with pytest.raises(TxnConflict):
+            table.check_access(older_is_actually_younger, 9, is_write=False)
+
+    def test_read_of_remote_write_set_conflicts(self, table):
+        writer = table.begin(0, 0)
+        reader = table.begin(1, 1)
+        table.check_access(writer, 4, is_write=True)
+        with pytest.raises(TxnConflict):
+            table.check_access(reader, 4, is_write=False)
+
+    def test_write_vs_remote_read_set_invisible(self, table):
+        """Read sets are only checked for same-node transactions
+        (reads are never broadcast in the protocol)."""
+        reader = table.begin(node=0, client=0)
+        writer = table.begin(node=1, client=1)
+        table.check_access(reader, 4, is_write=False)
+        table.check_access(writer, 4, is_write=True)  # no conflict
+        assert table.conflicts == 0
+
+    def test_write_vs_local_read_set_conflicts(self, table):
+        reader = table.begin(node=0, client=0)
+        writer = table.begin(node=0, client=1)
+        table.check_access(reader, 4, is_write=False)
+        with pytest.raises(TxnConflict):
+            table.check_access(writer, 4, is_write=True)
+
+    def test_check_still_alive(self, table):
+        txn = table.begin(0, 0)
+        table.abort(txn)
+        with pytest.raises(TxnConflict):
+            table.check_still_alive(txn)
+
+    def test_access_records_sets(self, table):
+        txn = table.begin(0, 0)
+        table.check_access(txn, 1, is_write=False)
+        table.check_access(txn, 2, is_write=True)
+        assert txn.read_set == {1}
+        assert txn.write_set == {2}
+
+    def test_own_keys_never_self_conflict(self, table):
+        txn = table.begin(0, 0)
+        table.check_access(txn, 1, is_write=True)
+        table.check_access(txn, 1, is_write=False)
+        table.check_access(txn, 1, is_write=True)
+        assert table.conflicts == 0

@@ -1,0 +1,154 @@
+"""Tests for the zipfian / YCSB workload generators."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import SeededStream
+from repro.workload.ycsb import WORKLOADS, RequestStream, WorkloadSpec
+from repro.workload.zipf import (
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv1a_64,
+)
+
+
+class TestZipfian:
+    def test_ranks_in_range(self):
+        gen = ZipfianGenerator(100, theta=0.99, rng=SeededStream(1))
+        for _ in range(2000):
+            assert 0 <= gen.next() < 100
+
+    def test_rank_zero_most_popular(self):
+        gen = ZipfianGenerator(1000, theta=0.99, rng=SeededStream(2))
+        counts = {}
+        for _ in range(20_000):
+            rank = gen.next()
+            counts[rank] = counts.get(rank, 0) + 1
+        assert counts[0] == max(counts.values())
+        # Zipf: rank 0 should get roughly 1/zeta of the mass.
+        zeta = sum(1.0 / (i ** 0.99) for i in range(1, 1001))
+        expected = 20_000 / zeta
+        assert abs(counts[0] - expected) / expected < 0.15
+
+    def test_skew_monotone_in_theta(self):
+        """Higher theta concentrates more mass on the top rank."""
+        def top_fraction(theta):
+            gen = ZipfianGenerator(1000, theta=theta, rng=SeededStream(3))
+            hits = sum(1 for _ in range(10_000) if gen.next() == 0)
+            return hits / 10_000
+
+        assert top_fraction(0.99) > top_fraction(0.5)
+
+    def test_theta_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(100, theta=1.0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(100, theta=0.0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+
+    def test_grow_matches_fresh(self):
+        grown = ZipfianGenerator(100, theta=0.9, rng=SeededStream(4))
+        grown.grow(200)
+        fresh = ZipfianGenerator(200, theta=0.9, rng=SeededStream(4))
+        assert grown._zeta_n == pytest.approx(fresh._zeta_n)
+        assert grown._eta == pytest.approx(fresh._eta)
+
+    def test_grow_shrink_rejected(self):
+        gen = ZipfianGenerator(100)
+        with pytest.raises(ValueError):
+            gen.grow(50)
+
+    def test_deterministic(self):
+        a = ZipfianGenerator(500, rng=SeededStream(9))
+        b = ZipfianGenerator(500, rng=SeededStream(9))
+        assert [a.next() for _ in range(100)] == [b.next() for _ in range(100)]
+
+
+class TestScrambled:
+    def test_keys_in_range(self):
+        gen = ScrambledZipfianGenerator(1000, rng=SeededStream(5))
+        for _ in range(2000):
+            assert 0 <= gen.next() < 1000
+
+    def test_hot_keys_spread_out(self):
+        """Scrambling moves the popular keys away from ids 0..k."""
+        gen = ScrambledZipfianGenerator(10_000, rng=SeededStream(6))
+        counts = {}
+        for _ in range(20_000):
+            key = gen.next()
+            counts[key] = counts.get(key, 0) + 1
+        hottest = max(counts, key=counts.get)
+        assert hottest > 100  # would be ~0 without scrambling
+
+    def test_fnv_hash_is_stable(self):
+        assert fnv1a_64(0) == fnv1a_64(0)
+        assert fnv1a_64(1) != fnv1a_64(2)
+
+
+class TestUniform:
+    def test_roughly_uniform(self):
+        gen = UniformGenerator(10, rng=SeededStream(7))
+        counts = [0] * 10
+        for _ in range(10_000):
+            counts[gen.next()] += 1
+        assert min(counts) > 700
+
+
+class TestWorkloadSpec:
+    def test_paper_workloads_defined(self):
+        assert WORKLOADS["A"].read_fraction == 0.50
+        assert WORKLOADS["B"].read_fraction == 0.95
+        assert WORKLOADS["W"].read_fraction == 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="bad", read_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="bad", read_fraction=0.5, key_space=0)
+
+    def test_with_overrides(self):
+        spec = WORKLOADS["A"].with_overrides(zipf_theta=0.5)
+        assert spec.zipf_theta == 0.5
+        assert spec.read_fraction == 0.50
+
+
+class TestRequestStream:
+    def test_read_fraction_respected(self):
+        stream = RequestStream(WORKLOADS["B"], SeededStream(8))
+        ops = [stream.next_request()[0] for _ in range(5000)]
+        read_fraction = ops.count("read") / len(ops)
+        assert abs(read_fraction - 0.95) < 0.02
+
+    def test_write_values_unique(self):
+        stream = RequestStream(WORKLOADS["W"], SeededStream(8))
+        values = [value for op, _key, value in
+                  (stream.next_request() for _ in range(200))
+                  if op == "write"]
+        assert len(values) == len(set(values))
+
+    def test_unknown_distribution(self):
+        spec = WorkloadSpec(name="x", read_fraction=0.5, distribution="pareto")
+        with pytest.raises(ValueError):
+            RequestStream(spec, SeededStream(1))
+
+    def test_uniform_distribution_supported(self):
+        spec = WorkloadSpec(name="u", read_fraction=0.5,
+                            distribution="uniform", key_space=50)
+        stream = RequestStream(spec, SeededStream(2))
+        keys = {stream.next_request()[1] for _ in range(1000)}
+        assert len(keys) > 40
+
+
+@given(theta=st.floats(min_value=0.1, max_value=0.99),
+       n=st.integers(min_value=2, max_value=2000))
+@settings(max_examples=30, deadline=None)
+def test_zipf_draws_always_valid(theta, n):
+    gen = ZipfianGenerator(n, theta=theta, rng=SeededStream(0))
+    for _ in range(50):
+        key = gen.next()
+        assert 0 <= key < n
