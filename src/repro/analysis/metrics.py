@@ -4,16 +4,24 @@ One :class:`Metrics` instance is shared by all nodes in a cluster run.
 Operation records are appended by the client layer; protocol engines
 bump counters (messages, persists, conflicts, buffered causal updates,
 read stalls on unpersisted writes).  :class:`Summary` turns the raw
-records into the quantities the paper's figures report.
+records into the quantities the paper's figures report, and
+:func:`windowed_op_series` slices them into per-window time series
+(throughput, p50/p99 latency) for the run-report artifact.
+
+Message traffic is windowed without storing per-message records: when a
+``window_ns`` is configured, :meth:`Metrics.record_message` bumps an
+O(windows x types) counter table instead of appending, so long runs
+stay bounded.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["OpRecord", "Metrics", "Summary"]
+__all__ = ["OpRecord", "Metrics", "Summary", "WindowStat",
+           "windowed_op_series"]
 
 
 @dataclass(frozen=True)
@@ -33,22 +41,92 @@ class OpRecord:
 
 
 def _percentile(sorted_values: List[float], fraction: float) -> float:
-    """Nearest-rank percentile on pre-sorted data."""
+    """Nearest-rank percentile on pre-sorted data.
+
+    Edge cases are explicit rather than emergent: an empty input has no
+    percentile (NaN), ``fraction <= 0`` is the minimum (nearest-rank's
+    ceil would otherwise produce rank -1 and only accidentally clamp to
+    0), and ``fraction >= 1`` is the maximum.
+    """
     if not sorted_values:
         return float("nan")
-    rank = max(0, min(len(sorted_values) - 1,
-                      math.ceil(fraction * len(sorted_values)) - 1))
+    if fraction <= 0.0:
+        return sorted_values[0]
+    if fraction >= 1.0:
+        return sorted_values[-1]
+    rank = min(len(sorted_values) - 1,
+               math.ceil(fraction * len(sorted_values)) - 1)
     return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class WindowStat:
+    """One window of a latency/throughput time series."""
+
+    start_ns: float
+    end_ns: float
+    ops: int
+    throughput_ops_per_s: float
+    mean_ns: float
+    p50_ns: float
+    p99_ns: float
+
+
+def windowed_op_series(ops: Iterable[OpRecord], window_ns: float,
+                       start_ns: float = 0.0,
+                       end_ns: Optional[float] = None,
+                       op_types: Tuple[str, ...] = ("read", "write"),
+                       ) -> List[WindowStat]:
+    """Bucket completed operations into fixed windows (by completion
+    time) and compute per-window throughput and latency percentiles.
+
+    Windows are contiguous from ``start_ns``; empty windows are emitted
+    (zero throughput, NaN latencies) so series from different runs align
+    index-by-index.
+    """
+    if window_ns <= 0:
+        raise ValueError(f"window_ns must be positive: {window_ns}")
+    buckets: Dict[int, List[float]] = {}
+    last_end = start_ns
+    for op in ops:
+        if op.op_type not in op_types or op.end_ns < start_ns:
+            continue
+        if end_ns is not None and op.end_ns > end_ns:
+            continue
+        index = int((op.end_ns - start_ns) // window_ns)
+        buckets.setdefault(index, []).append(op.latency_ns)
+        last_end = max(last_end, op.end_ns)
+    if end_ns is None:
+        end_ns = last_end
+    count = max(int(math.ceil((end_ns - start_ns) / window_ns)), 0)
+    series: List[WindowStat] = []
+    for index in range(count):
+        lats = sorted(buckets.get(index, ()))
+        n = len(lats)
+        series.append(WindowStat(
+            start_ns=start_ns + index * window_ns,
+            end_ns=start_ns + (index + 1) * window_ns,
+            ops=n,
+            throughput_ops_per_s=n / (window_ns * 1e-9),
+            mean_ns=(sum(lats) / n) if n else float("nan"),
+            p50_ns=_percentile(lats, 0.50),
+            p99_ns=_percentile(lats, 0.99),
+        ))
+    return series
 
 
 class Metrics:
     """Mutable collector for one simulation run."""
 
-    def __init__(self):
+    def __init__(self, window_ns: Optional[float] = None):
         self.ops: List[OpRecord] = []
         # Traffic.
         self.messages_by_type: Dict[str, int] = {}
         self.bytes_by_type: Dict[str, int] = {}
+        # Windowed traffic: (window index, type) -> count, maintained
+        # incrementally when a window size is configured.
+        self.window_ns = window_ns
+        self.message_windows: Dict[Tuple[int, str], int] = {}
         # Protocol counters.
         self.persists = 0
         self.txn_conflicts = 0
@@ -66,13 +144,51 @@ class Metrics:
     def record_op(self, record: OpRecord) -> None:
         self.ops.append(record)
 
-    def record_message(self, msg_type: str, size_bytes: int) -> None:
+    def record_message(self, msg_type: str, size_bytes: int,
+                       time_ns: Optional[float] = None) -> None:
         self.messages_by_type[msg_type] = self.messages_by_type.get(msg_type, 0) + 1
         self.bytes_by_type[msg_type] = self.bytes_by_type.get(msg_type, 0) + size_bytes
+        if self.window_ns is not None and time_ns is not None:
+            key = (int(time_ns // self.window_ns), msg_type)
+            self.message_windows[key] = self.message_windows.get(key, 0) + 1
 
     def note_causal_buffer(self, current_buffered: int) -> None:
         self.causal_buffered_total += 1
         self.causal_buffer_peak = max(self.causal_buffer_peak, current_buffered)
+
+    # -- time series -------------------------------------------------------------
+
+    def op_series(self, window_ns: float, end_ns: Optional[float] = None,
+                  op_types: Tuple[str, ...] = ("read", "write"),
+                  ) -> List[WindowStat]:
+        """Whole-cluster windowed throughput/latency series."""
+        return windowed_op_series(self.ops, window_ns, end_ns=end_ns,
+                                  op_types=op_types)
+
+    def op_series_by_node(self, window_ns: float,
+                          end_ns: Optional[float] = None,
+                          op_types: Tuple[str, ...] = ("read", "write"),
+                          ) -> Dict[int, List[WindowStat]]:
+        """Per-coordinator-node windowed series (aligned windows)."""
+        nodes = sorted({op.node for op in self.ops})
+        return {
+            node: windowed_op_series(
+                (op for op in self.ops if op.node == node),
+                window_ns, end_ns=end_ns, op_types=op_types)
+            for node in nodes
+        }
+
+    def message_window_series(self) -> Dict[str, List[int]]:
+        """Per-message-type windowed counts (requires ``window_ns``)."""
+        if not self.message_windows:
+            return {}
+        last = max(index for index, _ in self.message_windows)
+        types = sorted({t for _, t in self.message_windows})
+        return {
+            msg_type: [self.message_windows.get((index, msg_type), 0)
+                       for index in range(last + 1)]
+            for msg_type in types
+        }
 
     # -- aggregates ----------------------------------------------------------------
 

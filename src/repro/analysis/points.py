@@ -21,9 +21,10 @@ interface (:meth:`emit` with categories ``write_issue`` / ``apply`` /
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import _percentile as _sorted_percentile
 
 __all__ = ["PointsTracker", "PointsSummary"]
 
@@ -36,12 +37,7 @@ class _WritePoints:
 
 
 def _percentile(values: List[float], fraction: float) -> float:
-    if not values:
-        return float("nan")
-    ordered = sorted(values)
-    rank = max(0, min(len(ordered) - 1,
-                      math.ceil(fraction * len(ordered)) - 1))
-    return ordered[rank]
+    return _sorted_percentile(sorted(values), fraction)
 
 
 @dataclass(frozen=True)
@@ -110,6 +106,49 @@ class PointsTracker:
             if len(times) == self.num_nodes:
                 lags.append(max(times.values()) - record.issued_at)
         return lags
+
+    def window_lags(self, window_ns: float) -> Dict[int, List[Dict[str, float]]]:
+        """Per-node windowed VP-lag / DP-lag series.
+
+        Each write contributes, per node, the lag from its issue to the
+        node's apply (VP) and persist (DP); samples are bucketed by the
+        write's *issue* window.  Returns ``node -> [window dict]`` with
+        aligned windows across nodes, each dict carrying mean and p99
+        lags plus sample counts (NaN means no sample landed there).
+        """
+        if window_ns <= 0:
+            raise ValueError(f"window_ns must be positive: {window_ns}")
+        # node -> window index -> (vp samples, dp samples)
+        samples: Dict[int, Dict[int, Tuple[List[float], List[float]]]] = {}
+        last_window = -1
+        for record in self._writes.values():
+            index = int(record.issued_at // window_ns)
+            last_window = max(last_window, index)
+            for node, applied in record.applied_at.items():
+                vp, _dp = samples.setdefault(node, {}).setdefault(
+                    index, ([], []))
+                vp.append(applied - record.issued_at)
+            for node, persisted in record.persisted_at.items():
+                _vp, dp = samples.setdefault(node, {}).setdefault(
+                    index, ([], []))
+                dp.append(persisted - record.issued_at)
+        series: Dict[int, List[Dict[str, float]]] = {}
+        for node in sorted(samples):
+            rows = []
+            for index in range(last_window + 1):
+                vp, dp = samples[node].get(index, ((), ()))
+                rows.append({
+                    "start_ns": index * window_ns,
+                    "end_ns": (index + 1) * window_ns,
+                    "vp_samples": len(vp),
+                    "vp_mean_ns": (sum(vp) / len(vp)) if vp else float("nan"),
+                    "vp_p99_ns": _percentile(list(vp), 0.99),
+                    "dp_samples": len(dp),
+                    "dp_mean_ns": (sum(dp) / len(dp)) if dp else float("nan"),
+                    "dp_p99_ns": _percentile(list(dp), 0.99),
+                })
+            series[node] = rows
+        return series
 
     def summarize(self) -> PointsSummary:
         visibility = self._lags(lambda r: r.applied_at)

@@ -3,6 +3,11 @@
 Subcommands:
 
 * ``run`` — simulate one DDP model on one workload and print a summary.
+  ``--trace-out`` / ``--metrics-out`` / ``--profile`` additionally emit
+  a Chrome-trace JSON (open in Perfetto), a run-report JSON (windowed
+  throughput/latency and VP/DP-lag series), and kernel profile counters.
+* ``trace`` — run one model and dump its timeline: writes the
+  Chrome-trace file and prints a category summary plus the first records.
 * ``sweep`` — run several models on the same workload, normalized to
   <Linearizable, Synchronous> (a one-line Figure 6 slice).
 * ``tradeoffs`` — print the derived Table 4 (or the full 25-model grid).
@@ -12,6 +17,8 @@ Subcommands:
 Examples::
 
     python -m repro.cli run --consistency causal --persistency synchronous
+    python -m repro.cli run --trace-out t.json --metrics-out m.json --profile
+    python -m repro.cli trace --consistency causal --persistency eventual
     python -m repro.cli sweep --workload B --duration-us 150
     python -m repro.cli tradeoffs --all
     python -m repro.cli recover --persistency eventual --strategy majority
@@ -23,12 +30,23 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.analysis.metrics import Metrics
+from repro.analysis.points import PointsTracker
 from repro.analysis.report import format_summary_table
 from repro.cluster.cluster import Cluster, run_simulation
 from repro.cluster.config import ClusterConfig
 from repro.core.model import Consistency, DdpModel, Persistency, all_ddp_models
 from repro.core.tradeoffs import analyze_all
+from repro.obs import (
+    FanoutTracer,
+    JsonlSink,
+    KernelProfile,
+    build_run_report,
+    write_chrome_trace,
+    write_run_report,
+)
 from repro.recovery.replayer import RecoveryReplayer
+from repro.sim.trace import Tracer
 from repro.workload.ycsb import WORKLOADS
 
 __all__ = ["main", "build_parser"]
@@ -55,6 +73,101 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2021)
 
 
+def _positive(kind):
+    def parse(text: str):
+        value = kind(text)
+        if value <= 0:
+            raise argparse.ArgumentTypeError(f"must be positive: {text}")
+        return value
+    return parse
+
+
+def _add_observability(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write a Chrome trace_event JSON timeline "
+                             "(open in Perfetto / chrome://tracing)")
+    parser.add_argument("--trace-jsonl", metavar="PATH", default=None,
+                        help="stream trace records to a JSONL file")
+    parser.add_argument("--trace-limit", type=_positive(int),
+                        default=1_000_000,
+                        help="max in-memory trace records (default: 1M)")
+    parser.add_argument("--trace-ring", action="store_true",
+                        help="keep the newest records when the limit is "
+                             "hit instead of the oldest")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the run-report JSON (windowed "
+                             "throughput/latency, VP/DP lag series)")
+    parser.add_argument("--metrics-window-us", type=_positive(float),
+                        default=10.0,
+                        help="time-series window size (default: 10 us)")
+    parser.add_argument("--profile", action="store_true",
+                        help="collect and print simulation-kernel "
+                             "profile counters")
+
+
+class _Observability:
+    """The per-run observability sinks the CLI flags requested."""
+
+    def __init__(self, args):
+        want_trace = bool(getattr(args, "trace_out", None)
+                          or getattr(args, "trace_jsonl", None))
+        want_metrics = bool(getattr(args, "metrics_out", None))
+        # Fail on an unwritable destination now, not after simulating.
+        for path in (getattr(args, "trace_out", None), args.metrics_out):
+            if path:
+                try:
+                    open(path, "w").close()
+                except OSError as exc:
+                    raise SystemExit(f"repro: cannot write {path}: {exc}")
+        self.window_ns = args.metrics_window_us * 1000.0
+        self.tracer = (Tracer(max_records=args.trace_limit,
+                              ring=args.trace_ring)
+                       if want_trace else None)
+        self.points = PointsTracker(args.servers) if want_metrics else None
+        self.jsonl = (JsonlSink(args.trace_jsonl)
+                      if getattr(args, "trace_jsonl", None) else None)
+        self.metrics = (Metrics(window_ns=self.window_ns)
+                        if want_metrics else None)
+        self.profile = KernelProfile() if args.profile else None
+        sinks = [s for s in (self.tracer, self.points, self.jsonl)
+                 if s is not None]
+        self.engine_tracer = (sinks[0] if len(sinks) == 1
+                              else FanoutTracer(sinks) if sinks else None)
+
+    def finalize(self, args, model: DdpModel, summary, duration_ns: float,
+                 warmup_ns: float) -> None:
+        """Write the requested artifacts after the run."""
+        if self.jsonl is not None:
+            self.jsonl.close()
+        meta = {
+            "model": str(model),
+            "consistency": model.consistency.value,
+            "persistency": model.persistency.value,
+            "workload": args.workload,
+            "servers": args.servers,
+            "clients": args.clients,
+            "seed": args.seed,
+            "duration_ns": duration_ns,
+            "warmup_ns": warmup_ns,
+        }
+        if getattr(args, "trace_out", None):
+            write_chrome_trace(args.trace_out, self.tracer.records,
+                               dropped=self.tracer.dropped, meta=meta)
+            print(f"trace    -> {args.trace_out} "
+                  f"({len(self.tracer)} records, "
+                  f"{self.tracer.dropped} dropped)")
+        if getattr(args, "metrics_out", None):
+            report = build_run_report(summary, self.metrics, self.window_ns,
+                                      meta=meta, points=self.points,
+                                      profile=self.profile,
+                                      tracer=self.tracer)
+            write_run_report(args.metrics_out, report)
+            print(f"metrics  -> {args.metrics_out} "
+                  f"(window {args.metrics_window_us:g} us)")
+        if self.profile is not None:
+            print(self.profile.format())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -67,6 +180,22 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--persistency", default="synchronous",
                             choices=[p.value for p in Persistency])
     _add_common(run_parser)
+    _add_observability(run_parser)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="run one model and dump its event timeline")
+    trace_parser.add_argument("--consistency", default="causal",
+                              choices=[c.value for c in Consistency])
+    trace_parser.add_argument("--persistency", default="synchronous",
+                              choices=[p.value for p in Persistency])
+    _add_common(trace_parser)
+    trace_parser.add_argument("--out", metavar="PATH", default=None,
+                              help="write the Chrome trace_event JSON here")
+    trace_parser.add_argument("--limit", type=int, default=20,
+                              help="records to print (default: 20)")
+    trace_parser.add_argument("--category", action="append", default=None,
+                              help="only trace these categories "
+                                   "(repeatable)")
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="compare models on one workload")
@@ -94,14 +223,48 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_run(args) -> int:
     model = _model_from(args)
     duration = args.duration_us * 1000.0
+    warmup = duration / 10
+    obs = _Observability(args)
     summary = run_simulation(model, WORKLOADS[args.workload],
                              config=_config_from(args),
                              duration_ns=duration,
-                             warmup_ns=duration / 10)
+                             warmup_ns=warmup,
+                             tracer=obs.engine_tracer,
+                             metrics=obs.metrics,
+                             profile=obs.profile)
     print(format_summary_table([(str(model), summary)]))
     print(f"\npersists={summary.persists}  messages={summary.total_messages}"
           f"  causal-buffer-peak={summary.causal_buffer_peak}"
           f"  txn-conflicts={summary.txn_conflicts}")
+    obs.finalize(args, model, summary, duration, warmup)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    model = _model_from(args)
+    duration = args.duration_us * 1000.0
+    warmup = duration / 10
+    tracer = Tracer(categories=args.category)
+    summary = run_simulation(model, WORKLOADS[args.workload],
+                             config=_config_from(args),
+                             duration_ns=duration,
+                             warmup_ns=warmup,
+                             tracer=tracer)
+    print(f"model: {model}   throughput: "
+          f"{summary.throughput_ops_per_s / 1e6:.2f} Mops/s   "
+          f"records: {len(tracer)}")
+    print("\ncategory counts:")
+    for category, count in sorted(tracer.categories().items()):
+        print(f"  {category:28s} {count:8d}")
+    if args.limit > 0:
+        print(f"\nfirst {min(args.limit, len(tracer))} records:")
+        print(tracer.dump(limit=args.limit))
+    if args.out:
+        write_chrome_trace(args.out, tracer.records, dropped=tracer.dropped,
+                           meta={"model": str(model),
+                                 "workload": args.workload,
+                                 "seed": args.seed})
+        print(f"\ntrace -> {args.out}")
     return 0
 
 
@@ -161,6 +324,7 @@ def _cmd_recover(args) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "trace": _cmd_trace,
     "sweep": _cmd_sweep,
     "tradeoffs": _cmd_tradeoffs,
     "recover": _cmd_recover,

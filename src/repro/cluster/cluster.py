@@ -33,16 +33,20 @@ class Cluster:
 
     def __init__(self, model: DdpModel, config: Optional[ClusterConfig] = None,
                  workload: Optional[WorkloadSpec] = None, tracer=None,
-                 version_board=None):
+                 version_board=None, metrics: Optional[Metrics] = None,
+                 profile=None):
         self.model = model
         self.config = config or ClusterConfig()
         self.workload = workload
         self.tracer = tracer
         self.version_board = version_board
         self.sim = Simulator()
+        self.profile = profile
+        if profile is not None:
+            profile.attach(self.sim)
         self.rng = SeededStream(self.config.seed, "cluster")
-        self.metrics = Metrics()
-        self.network = Network(self.sim, self.config.network)
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.network = Network(self.sim, self.config.network, tracer=tracer)
         self.rdma = RdmaFabric(self.sim, self.network)
         self.txn_table = TxnTable()
         self.nvm_log = NvmLog(range(self.config.servers))
@@ -87,6 +91,8 @@ class Cluster:
         self.sim.run(until=duration_ns)
         self.metrics.txn_conflicts = self.txn_table.conflicts
         self.metrics.txn_aborts = self.txn_table.aborted
+        if self.profile is not None:
+            self.profile.stop(self.sim.now)
         return self.metrics.summarize(self.sim.now)
 
     # -- failure injection --------------------------------------------------------------
@@ -107,12 +113,17 @@ class Cluster:
 def run_simulation(model: DdpModel, workload: WorkloadSpec,
                    config: Optional[ClusterConfig] = None,
                    duration_ns: float = 300_000.0,
-                   warmup_ns: float = 30_000.0) -> Summary:
+                   warmup_ns: float = 30_000.0,
+                   tracer=None, metrics: Optional[Metrics] = None,
+                   profile=None) -> Summary:
     """Build, run, and summarize one experiment.
 
     The defaults (300 us measured window after 30 us warmup) keep single
     runs fast while giving each of the 100 default clients on the order
     of a hundred completed requests under the fastest models.
+    ``tracer`` / ``metrics`` / ``profile`` plug in observability sinks
+    (see :mod:`repro.obs`) without changing the run.
     """
-    cluster = Cluster(model, config=config, workload=workload)
+    cluster = Cluster(model, config=config, workload=workload,
+                      tracer=tracer, metrics=metrics, profile=profile)
     return cluster.run(duration_ns, warmup_ns)

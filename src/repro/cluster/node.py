@@ -31,7 +31,7 @@ class Node:
         self.memory = MemoryHierarchy(
             sim, rng.fork(f"mem{node_id}"), cores=config.cores_per_server,
             nvm_timing=config.nvm_timing, dram_timing=config.dram_timing,
-            name=f"node{node_id}")
+            name=f"node{node_id}", tracer=tracer, node_id=node_id)
         self.nic = network.attach(node_id)
         self.rdma_endpoint = rdma.register(node_id, self.memory)
         self.store = (make_store(config.store_type)

@@ -145,7 +145,7 @@ class ProtocolNode:
         self.txn_table = txn_table
         self.store = store
         self.nvm_log = nvm_log
-        self.tracer = tracer or NullTracer()
+        self.tracer = tracer if tracer is not None else NullTracer()
         self.version_board = version_board
 
         observer = self._replica_event if self.tracer.enabled else None
@@ -208,7 +208,13 @@ class ProtocolNode:
                          key=key, version=version)
 
     def _send(self, dst: int, message: Message) -> None:
-        self.metrics.record_message(message.msg_type.value, message.size_bytes)
+        self.metrics.record_message(message.msg_type.value, message.size_bytes,
+                                    time_ns=self.sim.now)
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, "msg_send", node=self.node_id,
+                             msg=message.msg_type.value, dst=dst,
+                             op_id=message.op_id, key=message.key,
+                             bytes=message.size_bytes)
         self.network.send(self.node_id, dst, message, message.size_bytes)
 
     def _broadcast(self, message: Message) -> None:
@@ -224,7 +230,8 @@ class ProtocolNode:
         k only after it has been delivered at follower k-1."""
         for dst in self.peer_ids:
             self.metrics.record_message(message.msg_type.value,
-                                        message.size_bytes)
+                                        message.size_bytes,
+                                        time_ns=self.sim.now)
             yield self.network.send(self.node_id, dst, message,
                                     message.size_bytes)
 
@@ -274,6 +281,9 @@ class ProtocolNode:
         """
         if version <= replica.persist_requested:
             return
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, "persist_issue", node=self.node_id,
+                             key=replica.key, version=version)
         replica.persist_requested = version
         replica.persist_target = (version, value)
         if not replica.persist_active:
@@ -358,7 +368,12 @@ class ProtocolNode:
                 # clears at VAL_p, so this stall is a read racing a
                 # yet-to-persist write (the conflicts of Section 8.1.2).
                 self.metrics.reads_blocked_by_unpersisted += 1
+            stall_start = self.sim.now
             yield replica.condition.wait_for(lambda: not replica.transient)
+            if self.tracer.enabled:
+                self.tracer.emit(self.sim.now, "read_stall",
+                                 node=self.node_id,
+                                 dur=self.sim.now - stall_start, key=key)
 
         # Persistency stall: Read-Enforced persistency forbids reading a
         # version that is not yet durable.  Under invalidation-based
@@ -366,6 +381,7 @@ class ProtocolNode:
         # Eventual consistency only local durability is knowable.
         if self.ppolicy.read_requires_applied_persisted:
             target = replica.applied_version
+            stall_start = self.sim.now
             if self.cpolicy.uses_inv:
                 if replica.cluster_persisted_version < target:
                     self.metrics.reads_blocked_by_unpersisted += 1
@@ -376,6 +392,10 @@ class ProtocolNode:
                     self.metrics.reads_blocked_by_unpersisted += 1
                     yield replica.condition.wait_for(
                         lambda: replica.persisted_version >= target)
+            if self.tracer.enabled and self.sim.now > stall_start:
+                self.tracer.emit(self.sim.now, "read_blocked_unpersisted",
+                                 node=self.node_id,
+                                 dur=self.sim.now - stall_start, key=key)
 
         yield from self.memory.volatile_read(key)
 
@@ -419,9 +439,14 @@ class ProtocolNode:
         # serialize (Section 5.2).  The loop re-checks after waking
         # because another woken writer may have claimed the key first.
         if self.cpolicy.write_stalls_on_transient:
+            stall_start = self.sim.now
             while replica.transient:
                 self.metrics.write_stalls += 1
                 yield replica.condition.wait_for(lambda: not replica.transient)
+            if self.tracer.enabled and self.sim.now > stall_start:
+                self.tracer.emit(self.sim.now, "write_stall",
+                                 node=self.node_id,
+                                 dur=self.sim.now - stall_start, key=key)
 
         version = replica.next_version(self.node_id)
         if self.tracer.enabled:
@@ -667,6 +692,9 @@ class ProtocolNode:
             yield self.sim.timeout(self.config.req_proc_ns)
             txn = self.txn_table.begin(self.node_id, ctx.client_id)
             ctx.txn = txn
+            if self.tracer.enabled:
+                self.tracer.emit(self.sim.now, "txn_begin", node=self.node_id,
+                                 txn_id=txn.txn_id, client=ctx.client_id)
             op_id = self._next_op_id()
             round_op = _RoundOp(op_id, Latch(self.sim, len(self.peer_ids)))
             self._outstanding_rounds[op_id] = round_op
@@ -708,6 +736,10 @@ class ProtocolNode:
             self._outstanding_rounds.pop(op_id, None)
             self.txn_table.commit(txn)
             self.metrics.txn_commits += 1
+            if self.tracer.enabled:
+                self.tracer.emit(self.sim.now, "txn_commit",
+                                 node=self.node_id, txn_id=txn.txn_id,
+                                 writes=len(payload))
             self._broadcast(Message(MsgType.VAL, src=self.node_id, op_id=op_id,
                                     txn_id=txn.txn_id, payload=payload))
             for key, version in payload:
@@ -732,6 +764,9 @@ class ProtocolNode:
             if not txn.aborted:
                 self.txn_table.abort(txn)
             self.metrics.txn_aborts += 1
+            if self.tracer.enabled:
+                self.tracer.emit(self.sim.now, "txn_abort", node=self.node_id,
+                                 txn_id=txn.txn_id, writes=len(txn.writes))
             payload = tuple(txn.writes)
             op_id = self._next_op_id()
             self._broadcast(Message(MsgType.VAL, src=self.node_id, op_id=op_id,
@@ -794,6 +829,7 @@ class ProtocolNode:
             return
         yield self.request_workers.acquire()
         try:
+            scope_start = self.sim.now
             yield self.sim.timeout(self.config.req_proc_ns)
             op_id = self._next_op_id()
             round_op = _RoundOp(op_id, Latch(self.sim, len(self.peer_ids)))
@@ -810,6 +846,11 @@ class ProtocolNode:
                                     payload=payload))
             for key, version in payload:
                 self.replicas.get(key).mark_cluster_persisted(version)
+            if self.tracer.enabled:
+                self.tracer.emit(self.sim.now, "scope_persist",
+                                 node=self.node_id,
+                                 dur=self.sim.now - scope_start,
+                                 scope_id=scope_id, writes=len(payload))
         finally:
             self.request_workers.release()
 
@@ -838,6 +879,12 @@ class ProtocolNode:
     # ------------------------------------------------------------------
 
     def _handle_message(self, message: Message) -> Generator:
+        tracing = self.tracer.enabled
+        if tracing:
+            self.tracer.emit(self.sim.now, "msg_recv", node=self.node_id,
+                             msg=message.msg_type.value, src=message.src,
+                             op_id=message.op_id, key=message.key)
+            handle_start = self.sim.now
         yield from self._charge_protocol_cpu()
         handler = {
             MsgType.INV: self._on_inv,
@@ -853,6 +900,11 @@ class ProtocolNode:
             MsgType.PERSIST: self._on_persist,
         }[message.msg_type]
         yield from handler(message)
+        if tracing:
+            self.tracer.emit(self.sim.now, "msg_handle", node=self.node_id,
+                             dur=self.sim.now - handle_start,
+                             msg=message.msg_type.value, src=message.src,
+                             op_id=message.op_id)
 
     # -- invalidation path ------------------------------------------------------
 
@@ -999,6 +1051,11 @@ class ProtocolNode:
         self._causal_waiting.setdefault(unmet_key, []).append(message)
         self._causal_waiting_count += 1
         self.metrics.note_causal_buffer(self._causal_waiting_count)
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, "causal_buffered",
+                             node=self.node_id, key=message.key,
+                             waiting_on=unmet_key,
+                             depth=self._causal_waiting_count)
 
     def _recheck_causal_waiters(self, key: int) -> Generator:
         """A version of ``key`` advanced: re-check the updates waiting on
@@ -1015,6 +1072,10 @@ class ProtocolNode:
                 if unmet is not None:
                     self._buffer_causal(unmet, message)
                     continue
+                if self.tracer.enabled:
+                    self.tracer.emit(self.sim.now, "causal_released",
+                                     node=self.node_id, key=message.key,
+                                     unblocked_by=advanced_key)
                 yield from self._apply_update(message)
                 work.append(message.key)
 

@@ -16,6 +16,7 @@ from typing import Generator, List
 
 from repro.sim.engine import Simulator
 from repro.sim.sync import Resource
+from repro.sim.trace import NullTracer
 
 __all__ = ["MemoryTiming", "MemoryDevice", "DramDevice", "NvmDevice"]
 
@@ -46,10 +47,13 @@ class MemoryDevice:
     and time-integrated queue occupancy for pressure analysis.
     """
 
-    def __init__(self, sim: Simulator, timing: MemoryTiming, name: str = "mem"):
+    def __init__(self, sim: Simulator, timing: MemoryTiming, name: str = "mem",
+                 tracer=None, trace_node=None):
         self.sim = sim
         self.timing = timing
         self.name = name
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.trace_node = trace_node
         self._banks: List[Resource] = [
             Resource(sim, capacity=1, name=f"{name}.bank{i}")
             for i in range(timing.total_banks)
@@ -97,8 +101,9 @@ class DramDevice(MemoryDevice):
     """DRAM with the paper's Table 5 timing (100 ns symmetric)."""
 
     def __init__(self, sim: Simulator, timing: MemoryTiming = DRAM_TIMING,
-                 name: str = "dram"):
-        super().__init__(sim, timing, name)
+                 name: str = "dram", tracer=None, trace_node=None):
+        super().__init__(sim, timing, name, tracer=tracer,
+                         trace_node=trace_node)
 
 
 class NvmDevice(MemoryDevice):
@@ -111,11 +116,22 @@ class NvmDevice(MemoryDevice):
     """
 
     def __init__(self, sim: Simulator, timing: MemoryTiming = NVM_TIMING,
-                 name: str = "nvm"):
-        super().__init__(sim, timing, name)
+                 name: str = "nvm", tracer=None, trace_node=None):
+        super().__init__(sim, timing, name, tracer=tracer,
+                         trace_node=trace_node)
         self.persists = 0
 
     def persist(self, address: int) -> Generator:
         """Process: durably write ``address`` (queues at its bank)."""
         self.persists += 1
-        yield from self._access(address, self.timing.write_ns)
+        if self.tracer.enabled:
+            start = self.sim.now
+            yield from self._access(address, self.timing.write_ns)
+            # Span covers bank queueing + media service time, so NVM
+            # pressure shows up directly as widening persist spans.
+            self.tracer.emit(self.sim.now, "nvm_persist",
+                             node=self.trace_node,
+                             dur=self.sim.now - start, address=address,
+                             outstanding=self.outstanding)
+        else:
+            yield from self._access(address, self.timing.write_ns)

@@ -28,14 +28,18 @@ class MemoryHierarchy:
     def __init__(self, sim: Simulator, rng: SeededStream, cores: int = 20,
                  nvm_timing: Optional[MemoryTiming] = None,
                  dram_timing: Optional[MemoryTiming] = None,
-                 name: str = "node"):
+                 name: str = "node", tracer=None, node_id=None):
         self.sim = sim
         self.name = name
         self.caches = CacheHierarchy(sim, rng.fork("caches"), cores)
-        self.dram = (DramDevice(sim, dram_timing, name=f"{name}.dram")
-                     if dram_timing else DramDevice(sim, name=f"{name}.dram"))
-        self.nvm = (NvmDevice(sim, nvm_timing, name=f"{name}.nvm")
-                    if nvm_timing else NvmDevice(sim, name=f"{name}.nvm"))
+        dram_kwargs = {"name": f"{name}.dram", "tracer": tracer,
+                       "trace_node": node_id}
+        nvm_kwargs = {"name": f"{name}.nvm", "tracer": tracer,
+                      "trace_node": node_id}
+        self.dram = (DramDevice(sim, dram_timing, **dram_kwargs)
+                     if dram_timing else DramDevice(sim, **dram_kwargs))
+        self.nvm = (NvmDevice(sim, nvm_timing, **nvm_kwargs)
+                    if nvm_timing else NvmDevice(sim, **nvm_kwargs))
 
     # -- volatile side -------------------------------------------------------
 

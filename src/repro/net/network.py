@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.sim.engine import Event, Simulator
 from repro.sim.sync import Resource, Store
+from repro.sim.trace import NullTracer
 
 __all__ = ["NetworkConfig", "Nic", "Network"]
 
@@ -80,9 +81,11 @@ class Network:
     """
 
     def __init__(self, sim: Simulator, config: Optional[NetworkConfig] = None,
-                 one_way_fn: Optional[Callable[[int, int], float]] = None):
+                 one_way_fn: Optional[Callable[[int, int], float]] = None,
+                 tracer=None):
         self.sim = sim
         self.config = config or NetworkConfig()
+        self.tracer = tracer if tracer is not None else NullTracer()
         self._nics: Dict[int, Nic] = {}
         self.total_messages = 0
         self.total_bytes = 0
@@ -128,6 +131,7 @@ class Network:
                   delivered: Event) -> Generator:
         src_nic = self._nics[src]
         dst_nic = self._nics[dst]
+        inject_start = self.sim.now
         yield src_nic.queue_pairs.acquire()
         try:
             yield self.sim.timeout(src_nic.serialization_ns(size_bytes))
@@ -137,10 +141,18 @@ class Network:
         src_nic.bytes_sent += size_bytes
         self.total_messages += 1
         self.total_bytes += size_bytes
+        if self.tracer.enabled:
+            # Span covers queue-pair wait + serialization onto the link.
+            self.tracer.emit(self.sim.now, "net_send", node=src,
+                             dur=self.sim.now - inject_start, dst=dst,
+                             bytes=size_bytes)
         one_way = (self.one_way_fn(src, dst) if self.one_way_fn is not None
                    else self.config.one_way_ns)
         yield self.sim.timeout(one_way)
         dst_nic.deliver(message, size_bytes)
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, "net_deliver", node=dst, src=src,
+                             bytes=size_bytes)
         delivered.succeed(message)
 
     def broadcast(self, src: int, dsts: List[int], message: Any,

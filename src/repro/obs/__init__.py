@@ -1,0 +1,33 @@
+"""Observability: trace export, kernel profiling, and run reports.
+
+This package turns the raw signals the simulation already produces
+(:class:`repro.sim.trace.Tracer` records, :class:`repro.analysis.metrics.
+Metrics` operation records, :class:`repro.analysis.points.PointsTracker`
+VP/DP events) into artifacts a human or a tool can consume:
+
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
+  Perfetto / ``chrome://tracing``) and a JSONL streaming sink.
+* :mod:`repro.obs.profile` — :class:`KernelProfile`, cheap counters for
+  the simulation kernel itself (events processed, heap high-water mark,
+  processes spawned, wall-clock per simulated second).
+* :mod:`repro.obs.report` — the machine-readable run-report JSON with
+  windowed throughput/latency series and per-node VP/DP lag.
+* :mod:`repro.obs.fanout` — :class:`FanoutTracer` to feed one engine's
+  emissions to several sinks (e.g. a Tracer and a PointsTracker).
+"""
+
+from repro.obs.export import JsonlSink, chrome_trace_events, chrome_trace_payload, write_chrome_trace
+from repro.obs.fanout import FanoutTracer
+from repro.obs.profile import KernelProfile
+from repro.obs.report import build_run_report, write_run_report
+
+__all__ = [
+    "JsonlSink",
+    "chrome_trace_events",
+    "chrome_trace_payload",
+    "write_chrome_trace",
+    "FanoutTracer",
+    "KernelProfile",
+    "build_run_report",
+    "write_run_report",
+]

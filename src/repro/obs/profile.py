@@ -1,0 +1,91 @@
+"""Profiling the simulation kernel itself.
+
+Every future "make a hot path measurably faster" PR needs to know what
+the kernel spent its time on.  :class:`KernelProfile` is a plain counter
+object the :class:`repro.sim.engine.Simulator` increments when attached
+(``sim.profile = profile``); detached (the default), the kernel pays one
+``is not None`` check per step.
+
+Collected:
+
+* ``events_processed`` — heap pops (kernel iterations).
+* ``heap_peak`` — high-water mark of the event heap (scheduling depth).
+* ``processes_spawned`` — generator processes launched.
+* wall-clock — real seconds between :meth:`start` and :meth:`stop`,
+  reported per simulated second so runs of different lengths compare.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["KernelProfile"]
+
+
+class KernelProfile:
+    """Cheap kernel counters plus wall-clock accounting."""
+
+    __slots__ = ("events_processed", "heap_peak", "processes_spawned",
+                 "_wall_start", "wall_seconds", "sim_ns")
+
+    def __init__(self):
+        self.events_processed = 0
+        self.heap_peak = 0
+        self.processes_spawned = 0
+        self._wall_start: Optional[float] = None
+        self.wall_seconds = 0.0
+        self.sim_ns = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self, sim: Any) -> "KernelProfile":
+        """Install on a simulator and start the wall clock."""
+        sim.profile = self
+        self.start()
+        return self
+
+    def start(self) -> None:
+        self._wall_start = time.perf_counter()
+
+    def stop(self, sim_now: float) -> None:
+        """Freeze wall-clock and simulated extent (idempotent)."""
+        if self._wall_start is not None:
+            self.wall_seconds += time.perf_counter() - self._wall_start
+            self._wall_start = None
+        self.sim_ns = sim_now
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def events_per_wall_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_processed / self.wall_seconds
+
+    @property
+    def wall_seconds_per_sim_second(self) -> float:
+        """Slowdown factor: real seconds per simulated second."""
+        if self.sim_ns <= 0:
+            return 0.0
+        return self.wall_seconds / (self.sim_ns * 1e-9)
+
+    def snapshot(self) -> Dict[str, float]:
+        """The run-report ``profile`` section."""
+        return {
+            "events_processed": self.events_processed,
+            "heap_peak": self.heap_peak,
+            "processes_spawned": self.processes_spawned,
+            "sim_ns": self.sim_ns,
+            "wall_seconds": self.wall_seconds,
+            "events_per_wall_second": self.events_per_wall_second,
+            "wall_seconds_per_sim_second": self.wall_seconds_per_sim_second,
+        }
+
+    def format(self) -> str:
+        return (f"kernel: {self.events_processed} events, "
+                f"heap peak {self.heap_peak}, "
+                f"{self.processes_spawned} processes, "
+                f"{self.wall_seconds * 1e3:.1f} ms wall "
+                f"({self.events_per_wall_second / 1e6:.2f} Mevents/s, "
+                f"{self.wall_seconds_per_sim_second:.0f}x slowdown)")

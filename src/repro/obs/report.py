@@ -1,0 +1,105 @@
+"""The machine-readable run report.
+
+One JSON artifact per run, containing everything the paper's evaluation
+plots need without re-running: the end-of-run :class:`Summary`, windowed
+throughput / p50 / p99 latency series (whole cluster and per node),
+windowed per-message-type traffic, per-node Visibility-Point and
+Durability-Point lag series, and (optionally) the kernel profile.
+
+Schema (see DESIGN.md "Run-report JSON" for field-level docs)::
+
+    {
+      "schema": "repro.run_report/1",
+      "meta":     {model, consistency, persistency, servers, clients,
+                   seed, workload, duration_ns, warmup_ns, window_ns},
+      "summary":  {...Summary fields...},
+      "windows":  [{start_ns, end_ns, ops, throughput_ops_per_s,
+                    mean_ns, p50_ns, p99_ns}],
+      "windows_by_node": {"0": [...], ...},
+      "messages": {"by_type": {...}, "bytes_by_type": {...},
+                   "windows_by_type": {"INV": [..counts..], ...}},
+      "lag":      {"per_node": {"0": [{start_ns, vp_mean_ns, vp_p99_ns,
+                                       dp_mean_ns, dp_p99_ns, ...}]},
+                   "summary": {...PointsSummary fields...}},
+      "profile":  {...KernelProfile.snapshot()...},
+      "trace":    {"records": n, "dropped": n, "categories": {...}}
+    }
+
+NaN/inf values (empty windows, models that never persist) are emitted
+as ``null`` so the document is strict JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from typing import Any, Dict, Optional
+
+from repro.analysis.metrics import Metrics, Summary
+
+__all__ = ["SCHEMA", "build_run_report", "write_run_report"]
+
+SCHEMA = "repro.run_report/1"
+
+
+def _clean(value: Any) -> Any:
+    """Recursively make a value strict-JSON-safe (NaN/inf -> null)."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {str(k): _clean(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_clean(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _clean(dataclasses.asdict(value))
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def build_run_report(summary: Summary, metrics: Metrics,
+                     window_ns: float,
+                     meta: Optional[Dict[str, Any]] = None,
+                     points: Any = None,
+                     profile: Any = None,
+                     tracer: Any = None) -> Dict[str, Any]:
+    """Assemble the report dict from a finished run's collectors.
+
+    ``points`` is a :class:`repro.analysis.points.PointsTracker` (or
+    None), ``profile`` a :class:`repro.obs.profile.KernelProfile`,
+    ``tracer`` a :class:`repro.sim.trace.Tracer`; all optional so
+    callers include only what they measured.
+    """
+    report: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "meta": dict(meta or {}, window_ns=window_ns),
+        "summary": _clean(summary),
+        "windows": _clean(metrics.op_series(window_ns)),
+        "windows_by_node": _clean(metrics.op_series_by_node(window_ns)),
+        "messages": _clean({
+            "by_type": metrics.messages_by_type,
+            "bytes_by_type": metrics.bytes_by_type,
+            "windows_by_type": metrics.message_window_series(),
+        }),
+    }
+    if points is not None:
+        report["lag"] = _clean({
+            "per_node": points.window_lags(window_ns),
+            "summary": points.summarize(),
+        })
+    if profile is not None:
+        report["profile"] = _clean(profile.snapshot())
+    if tracer is not None:
+        report["trace"] = _clean({
+            "records": len(tracer),
+            "dropped": tracer.dropped,
+            "categories": tracer.categories(),
+        })
+    return report
+
+
+def write_run_report(path: str, report: Dict[str, Any]) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True, allow_nan=False)
+        fh.write("\n")

@@ -52,10 +52,21 @@ class RecoveredState:
         return key in self.entries
 
 
-def recover_latest(log: NvmLog, node_ids) -> RecoveredState:
+def _trace_resolution(tracer, now: float, strategy: str,
+                      entries: Dict[int, Tuple[Version, Any]],
+                      scanned_keys: int) -> None:
+    if tracer is None or not tracer.enabled:
+        return
+    tracer.emit(now, "recovery_resolve", strategy=strategy,
+                recovered_keys=len(entries), scanned_keys=scanned_keys)
+
+
+def recover_latest(log: NvmLog, node_ids, tracer=None,
+                   now: float = 0.0) -> RecoveredState:
     """Highest durable version of every key across all nodes."""
     entries: Dict[int, Tuple[Version, Any]] = {}
-    for key in log.all_keys():
+    all_keys = log.all_keys()
+    for key in all_keys:
         best: Optional[Tuple[Version, Any]] = None
         for node_id in node_ids:
             entry = log.durable_entry(node_id, key)
@@ -65,15 +76,18 @@ def recover_latest(log: NvmLog, node_ids) -> RecoveredState:
                 best = (entry.version, entry.value)
         if best is not None:
             entries[key] = best
+    _trace_resolution(tracer, now, "latest", entries, len(all_keys))
     return RecoveredState(entries, strategy="latest")
 
 
-def recover_majority(log: NvmLog, node_ids) -> RecoveredState:
+def recover_majority(log: NvmLog, node_ids, tracer=None,
+                     now: float = 0.0) -> RecoveredState:
     """Voting-based recovery: majority version wins, latest breaks it."""
     node_ids = list(node_ids)
     quorum = len(node_ids) // 2 + 1
     entries: Dict[int, Tuple[Version, Any]] = {}
-    for key in log.all_keys():
+    all_keys = log.all_keys()
+    for key in all_keys:
         votes: Counter = Counter()
         values: Dict[Version, Any] = {}
         for node_id in node_ids:
@@ -90,6 +104,7 @@ def recover_majority(log: NvmLog, node_ids) -> RecoveredState:
         else:
             version = max(votes)
         entries[key] = (version, values[version])
+    _trace_resolution(tracer, now, "majority", entries, len(all_keys))
     return RecoveredState(entries, strategy="majority")
 
 

@@ -95,25 +95,38 @@ class RecoveryReplayer:
     def simulate(self, strategy: str = "latest") -> RecoveryReport:
         """Run recovery on the (crashed) cluster; advances simulated time
         by the scan duration and returns the full report."""
+        sim = self.cluster.sim
+        tracer = getattr(self.cluster, "tracer", None)
+        tracing = tracer is not None and tracer.enabled
         node_ids = [node.node_id for node in self.cluster.nodes]
         log = self.cluster.nvm_log
 
         scan_ns = self._run_scans()
+        if tracing:
+            tracer.emit(sim.now, "recovery_scan", dur=scan_ns,
+                        nodes=len(node_ids))
 
         divergence = recovery_divergence(log, node_ids)
         divergent = sum(1 for count in divergence.values() if count > 1)
         total = len(log.all_keys())
 
         if strategy == "latest":
-            state = recover_latest(log, node_ids)
+            state = recover_latest(log, node_ids, tracer=tracer, now=sim.now)
             rounds = 1
         elif strategy == "majority":
-            state = recover_majority(log, node_ids)
+            state = recover_majority(log, node_ids, tracer=tracer,
+                                     now=sim.now)
             rounds = 2  # vote collection + decision dissemination
         else:
             raise ValueError(f"unknown recovery strategy {strategy!r}")
 
         reconcile_ns = self._reconcile_ns(divergent, total, rounds)
+        if tracing:
+            # Reconciliation is modeled analytically, not stepped through
+            # the kernel: place the span after the scan on the timeline.
+            tracer.emit(sim.now + reconcile_ns, "recovery_reconcile",
+                        dur=reconcile_ns, strategy=strategy,
+                        divergent_keys=divergent, total_keys=total)
         return RecoveryReport(strategy=strategy, scan_ns=scan_ns,
                               reconcile_ns=reconcile_ns,
                               divergent_keys=divergent, total_keys=total,

@@ -337,6 +337,10 @@ class Simulator:
         self._heap: List = []
         self._sequence = 0
         self._active_process: Optional[Process] = None
+        # Optional kernel profiler (see repro.obs.profile.KernelProfile).
+        # None by default so the hot loop pays one attribute check per
+        # step and nothing else.
+        self.profile = None
 
     # -- factory helpers ------------------------------------------------------
 
@@ -350,6 +354,8 @@ class Simulator:
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Launch a generator as a concurrent process."""
+        if self.profile is not None:
+            self.profile.processes_spawned += 1
         return Process(self, generator, name)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
@@ -389,6 +395,12 @@ class Simulator:
 
     def step(self) -> None:
         """Process the single next event."""
+        profile = self.profile
+        if profile is not None:
+            profile.events_processed += 1
+            depth = len(self._heap)
+            if depth > profile.heap_peak:
+                profile.heap_peak = depth
         when, _seq, event = heapq.heappop(self._heap)
         self.now = when
         event._run_callbacks()

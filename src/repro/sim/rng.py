@@ -8,7 +8,9 @@ independent components do not perturb each other's streams.
 
 from __future__ import annotations
 
+import hashlib
 import random
+
 __all__ = ["SeededStream"]
 
 
@@ -27,7 +29,12 @@ class SeededStream:
 
     def fork(self, name: str) -> "SeededStream":
         """Derive an independent child stream keyed by ``name``."""
-        child_seed = hash((self.seed, name)) & 0x7FFFFFFFFFFFFFFF
+        # Built-in hash() is salted per process (PYTHONHASHSEED), which
+        # would make same-seed runs differ between invocations; a real
+        # hash keeps forked seeds identical everywhere.
+        digest = hashlib.blake2b(f"{self.seed}\x00{name}".encode(),
+                                 digest_size=8).digest()
+        child_seed = int.from_bytes(digest, "big") & 0x7FFFFFFFFFFFFFFF
         return SeededStream(child_seed, f"{self.name}/{name}")
 
     # Thin pass-throughs (explicit, so the public surface is visible).

@@ -3,7 +3,25 @@
 A :class:`Tracer` collects structured trace records (time, category,
 node, details).  Protocol engines emit traces for message sends, state
 transitions, persists, and stalls; tests and the recovery checker replay
-them to validate protocol invariants, and debugging dumps them as text.
+them to validate protocol invariants, debugging dumps them as text, and
+:mod:`repro.obs` exports them to Chrome ``trace_event`` JSON / JSONL
+timelines.
+
+Records come in two shapes:
+
+* **instant events** (``phase == "i"``) — something happened at one
+  point in simulated time (a message send, a persist completion);
+* **spans** (``phase == "X"``) — something took a duration, recorded at
+  its *end* with ``dur`` nanoseconds of extent (a stall, a message
+  handler, an NVM persist including queueing).  Instrumentation sites
+  compute the duration themselves (``dur=now - start``), so a span costs
+  exactly one record and no open-span bookkeeping.
+
+Storage is bounded: ``max_records`` caps memory, either by dropping new
+records once full (``ring=False``, the default — the head of the run is
+kept) or by evicting the oldest (``ring=True`` — the tail is kept, the
+right mode for "what just happened before the bug").  Either way the
+``dropped`` counter says how much is missing.
 
 Tracing is off by default (a :class:`NullTracer` is used) so the hot
 simulation path pays a single attribute lookup per potential record.
@@ -11,46 +29,104 @@ simulation path pays a single attribute lookup per potential record.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
 __all__ = ["TraceRecord", "Tracer", "NullTracer"]
 
+INSTANT = "i"
+SPAN = "X"
+COUNTER = "C"
+
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One trace entry."""
+    """One trace entry (an instant event, span, or counter sample)."""
 
     time: float
     category: str
     node: Optional[int]
     details: Dict[str, Any] = field(default_factory=dict)
+    phase: str = INSTANT
+    dur: float = 0.0
+    """Span extent in ns; the record's ``time`` is the span *end*, so
+    the span covers ``[time - dur, time]``."""
+
+    @property
+    def start(self) -> float:
+        return self.time - self.dur
 
     def format(self) -> str:
         detail_str = " ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
         node_str = f"n{self.node}" if self.node is not None else "--"
-        return f"[{self.time:>12.1f}ns] {node_str:>4} {self.category:<18} {detail_str}"
+        dur_str = f" dur={self.dur:.0f}ns" if self.phase == SPAN else ""
+        return (f"[{self.time:>12.1f}ns] {node_str:>4} "
+                f"{self.category:<18}{dur_str} {detail_str}")
 
 
 class Tracer:
-    """Collects trace records, with optional category filtering."""
+    """Collects trace records, with optional category filtering and a
+    bounded-memory mode.
+
+    ``max_records=None`` keeps everything (tests, short runs).  With a
+    cap, ``ring=False`` keeps the first ``max_records`` records and
+    ``ring=True`` the last; ``dropped`` counts the records lost either
+    way.
+    """
 
     enabled = True
 
-    def __init__(self, categories: Optional[List[str]] = None):
-        self.records: List[TraceRecord] = []
+    def __init__(self, categories: Optional[List[str]] = None,
+                 max_records: Optional[int] = None, ring: bool = False):
+        if max_records is not None and max_records <= 0:
+            raise ValueError(f"max_records must be positive: {max_records}")
+        self._ring = ring and max_records is not None
+        self._max_records = max_records
+        if self._ring:
+            self.records = deque(maxlen=max_records)
+        else:
+            self.records = []
         self._categories = set(categories) if categories else None
+        self.dropped = 0
 
     def emit(
         self,
         time: float,
         category: str,
         node: Optional[int] = None,
+        dur: Optional[float] = None,
+        phase: Optional[str] = None,
         **details: Any,
     ) -> None:
+        """Record one event.
+
+        Passing ``dur`` makes the record a span ending at ``time``;
+        ``phase`` overrides the instant/span classification (e.g. ``"C"``
+        for counter samples).  Duck-typed tracer sinks that only take
+        ``(time, category, node, **details)`` receive ``dur``/``phase``
+        as ordinary detail keys and may ignore them.
+        """
         if self._categories is not None and category not in self._categories:
             return
-        self.records.append(TraceRecord(time, category, node, details))
+        if phase is None:
+            phase = SPAN if dur is not None else INSTANT
+        record = TraceRecord(time, category, node, details, phase,
+                             dur if dur is not None else 0.0)
+        if self._ring:
+            if len(self.records) == self._max_records:
+                self.dropped += 1
+            self.records.append(record)
+        elif (self._max_records is not None
+                and len(self.records) >= self._max_records):
+            self.dropped += 1
+        else:
+            self.records.append(record)
+
+    def span(self, start: float, end: float, category: str,
+             node: Optional[int] = None, **details: Any) -> None:
+        """Convenience: record a span covering ``[start, end]``."""
+        self.emit(end, category, node=node, dur=end - start, **details)
 
     def by_category(self, category: str) -> Iterator[TraceRecord]:
         return (r for r in self.records if r.category == category)
@@ -58,12 +134,22 @@ class Tracer:
     def count(self, category: str) -> int:
         return sum(1 for _ in self.by_category(category))
 
+    def categories(self) -> Dict[str, int]:
+        """Category -> record count, for timeline summaries."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.category] = counts.get(record.category, 0) + 1
+        return counts
+
     def dump(self, limit: Optional[int] = None) -> str:
-        records = self.records if limit is None else self.records[:limit]
+        records = list(self.records)
+        if limit is not None:
+            records = records[:limit]
         return "\n".join(r.format() for r in records)
 
     def clear(self) -> None:
         self.records.clear()
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self.records)
@@ -74,8 +160,12 @@ class NullTracer:
 
     enabled = False
     records: List[TraceRecord] = []
+    dropped = 0
 
     def emit(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def span(self, *args: Any, **kwargs: Any) -> None:
         pass
 
     def by_category(self, category: str) -> Iterator[TraceRecord]:
@@ -83,6 +173,9 @@ class NullTracer:
 
     def count(self, category: str) -> int:
         return 0
+
+    def categories(self) -> Dict[str, int]:
+        return {}
 
     def dump(self, limit: Optional[int] = None) -> str:
         return ""

@@ -59,7 +59,9 @@ class LeaderProtocolNode(ProtocolNode):
             return
         # Forward hop to the leader (request payload on the wire).
         self.forwarded_writes += 1
-        self.metrics.record_message("FWD", _FORWARD_BYTES)
+        forward_start = self.sim.now
+        self.metrics.record_message("FWD", _FORWARD_BYTES,
+                                    time_ns=self.sim.now)
         yield self.sim.timeout(
             self.nic.serialization_ns(_FORWARD_BYTES) + self._one_way_ns())
         # The leader coordinates the write with its own worker capacity;
@@ -70,9 +72,15 @@ class LeaderProtocolNode(ProtocolNode):
         finally:
             leader.request_workers.release()
         # Completion notification back to the origin node.
-        self.metrics.record_message("FWD_ACK", _REPLY_BYTES)
+        self.metrics.record_message("FWD_ACK", _REPLY_BYTES,
+                                    time_ns=self.sim.now)
         yield self.sim.timeout(
             self.nic.serialization_ns(_REPLY_BYTES) + self._one_way_ns())
+        if self.tracer.enabled:
+            # Span covers both hops plus the leader's coordination round.
+            self.tracer.emit(self.sim.now, "fwd_write", node=self.node_id,
+                             dur=self.sim.now - forward_start, key=key,
+                             leader=leader.node_id)
 
 
 class LeaderCluster:
@@ -80,13 +88,14 @@ class LeaderCluster:
 
     def __init__(self, model: DdpModel, config: Optional[ClusterConfig] = None,
                  workload: Optional[WorkloadSpec] = None,
-                 version_board=None):
+                 version_board=None, tracer=None):
         self.model = model
         self.config = config or ClusterConfig()
+        self.tracer = tracer
         self.sim = Simulator()
         self.rng = SeededStream(self.config.seed, "leader")
         self.metrics = Metrics()
-        self.network = Network(self.sim, self.config.network)
+        self.network = Network(self.sim, self.config.network, tracer=tracer)
         self.txn_table = TxnTable()
         self.nvm_log = NvmLog(range(self.config.servers))
         self.engines: List[LeaderProtocolNode] = []
@@ -95,7 +104,8 @@ class LeaderCluster:
                 self.sim, self.rng.fork(f"mem{node_id}"),
                 cores=self.config.cores_per_server,
                 nvm_timing=self.config.nvm_timing,
-                dram_timing=self.config.dram_timing, name=f"node{node_id}")
+                dram_timing=self.config.dram_timing, name=f"node{node_id}",
+                tracer=tracer, node_id=node_id)
             nic = self.network.attach(node_id)
             store = (make_store(self.config.store_type)
                      if self.config.store_type else None)
@@ -104,7 +114,7 @@ class LeaderCluster:
                 self.sim, node_id, peer_ids, self.network, nic, memory,
                 model, self.metrics, config=self.config.protocol,
                 txn_table=self.txn_table, store=store, nvm_log=self.nvm_log,
-                version_board=version_board))
+                tracer=tracer, version_board=version_board))
         for engine in self.engines:
             engine.leader_engine = self.engines[0]
         self.clients: List[Client] = []

@@ -1,0 +1,137 @@
+"""Tests for percentile edge cases and the windowed time series."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    Metrics,
+    OpRecord,
+    _percentile,
+    windowed_op_series,
+)
+from repro.analysis.points import PointsTracker
+
+
+def _op(op_type, end_ns, node=0, latency=10.0, client=0, key=1):
+    return OpRecord(op_type, node=node, client=client, key=key,
+                    start_ns=end_ns - latency, end_ns=end_ns)
+
+
+class TestPercentile:
+    def test_empty_list_is_nan(self):
+        assert math.isnan(_percentile([], 0.5))
+        assert math.isnan(_percentile([], 0.0))
+        assert math.isnan(_percentile([], 1.0))
+
+    def test_zero_fraction_is_minimum(self):
+        assert _percentile([1.0, 2.0, 3.0], 0.0) == 1.0
+        assert _percentile([5.0], 0.0) == 5.0
+
+    def test_negative_fraction_clamps_to_minimum(self):
+        assert _percentile([1.0, 2.0, 3.0], -0.5) == 1.0
+
+    def test_full_fraction_is_maximum(self):
+        assert _percentile([1.0, 2.0, 3.0], 1.0) == 3.0
+        assert _percentile([1.0, 2.0, 3.0], 1.5) == 3.0
+
+    def test_nearest_rank_interior(self):
+        values = [float(v) for v in range(1, 11)]  # 1..10
+        assert _percentile(values, 0.50) == 5.0
+        assert _percentile(values, 0.90) == 9.0
+        assert _percentile(values, 0.99) == 10.0
+
+    def test_single_element(self):
+        assert _percentile([42.0], 0.99) == 42.0
+
+
+class TestWindowedOpSeries:
+    def test_buckets_by_completion_time(self):
+        ops = [_op("read", 50.0), _op("write", 150.0), _op("read", 180.0)]
+        series = windowed_op_series(ops, window_ns=100.0)
+        assert len(series) == 2
+        assert series[0].ops == 1
+        assert series[1].ops == 2
+        assert series[0].throughput_ops_per_s == pytest.approx(1 / 100e-9)
+
+    def test_empty_windows_are_emitted_for_alignment(self):
+        ops = [_op("read", 50.0), _op("read", 350.0)]
+        series = windowed_op_series(ops, window_ns=100.0)
+        assert [w.ops for w in series] == [1, 0, 0, 1]
+        assert math.isnan(series[1].p99_ns)
+        assert series[1].throughput_ops_per_s == 0.0
+
+    def test_op_type_filter(self):
+        ops = [_op("read", 50.0), _op("begin_txn", 60.0)]
+        series = windowed_op_series(ops, window_ns=100.0)
+        assert series[0].ops == 1
+
+    def test_explicit_end_pads_and_truncates(self):
+        ops = [_op("read", 50.0), _op("read", 550.0)]
+        series = windowed_op_series(ops, window_ns=100.0, end_ns=300.0)
+        assert len(series) == 3
+        assert [w.ops for w in series] == [1, 0, 0]
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            windowed_op_series([], window_ns=0.0)
+
+    def test_latency_percentiles_per_window(self):
+        ops = [_op("read", 90.0, latency=lat)
+               for lat in (10.0, 20.0, 30.0, 40.0)]
+        (window,) = windowed_op_series(ops, window_ns=100.0)
+        assert window.mean_ns == 25.0
+        assert window.p50_ns == 20.0
+        assert window.p99_ns == 40.0
+
+
+class TestMetricsSeries:
+    def test_op_series_by_node_aligned(self):
+        metrics = Metrics()
+        metrics.record_op(_op("read", 50.0, node=0))
+        metrics.record_op(_op("read", 250.0, node=1))
+        by_node = metrics.op_series_by_node(100.0, end_ns=300.0)
+        assert set(by_node) == {0, 1}
+        assert len(by_node[0]) == len(by_node[1]) == 3
+        assert [w.ops for w in by_node[0]] == [1, 0, 0]
+        assert [w.ops for w in by_node[1]] == [0, 0, 1]
+
+    def test_message_windows_require_configuration(self):
+        metrics = Metrics()  # no window_ns
+        metrics.record_message("INV", 64, time_ns=50.0)
+        assert metrics.message_window_series() == {}
+        assert metrics.messages_by_type == {"INV": 1}
+
+    def test_message_windows_bucket_by_time(self):
+        metrics = Metrics(window_ns=100.0)
+        metrics.record_message("INV", 64, time_ns=10.0)
+        metrics.record_message("INV", 64, time_ns=210.0)
+        metrics.record_message("ACK", 16, time_ns=220.0)
+        metrics.record_message("VAL", 80)  # no timestamp: totals only
+        series = metrics.message_window_series()
+        assert series == {"ACK": [0, 0, 1], "INV": [1, 0, 1]}
+        assert metrics.messages_by_type["VAL"] == 1
+
+
+class TestPointsWindowLags:
+    def test_lags_bucketed_by_issue_window(self):
+        points = PointsTracker(2)
+        points.emit(50.0, "write_issue", node=0, key=1, version=(1, 0))
+        points.emit(80.0, "apply", node=1, key=1, version=(1, 0))
+        points.emit(170.0, "persist", node=1, key=1, version=(1, 0))
+        points.emit(250.0, "write_issue", node=0, key=2, version=(2, 0))
+        points.emit(310.0, "apply", node=1, key=2, version=(2, 0))
+        series = points.window_lags(100.0)
+        rows = series[1]
+        assert len(rows) == 3  # aligned to the last issue window
+        assert rows[0]["vp_samples"] == 1
+        assert rows[0]["vp_mean_ns"] == 30.0
+        assert rows[0]["dp_mean_ns"] == 120.0  # persists keyed by issue
+        assert rows[1]["vp_samples"] == 0
+        assert math.isnan(rows[1]["vp_mean_ns"])
+        assert rows[2]["vp_mean_ns"] == 60.0
+        assert rows[2]["dp_samples"] == 0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            PointsTracker(1).window_lags(-1.0)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -19,6 +21,17 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_nonpositive_observability_values_rejected(self):
+        for flags in (["--trace-limit", "0"], ["--trace-limit", "-5"],
+                      ["--metrics-window-us", "0"]):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["run"] + flags)
+
+    def test_unwritable_artifact_path_fails_before_simulating(self):
+        with pytest.raises(SystemExit, match="cannot write"):
+            main(["run", "--duration-us", "20",
+                  "--trace-out", "/nonexistent-dir/t.json"])
 
 
 class TestCommands:
@@ -52,6 +65,81 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert out.count("\n") == 25
+
+    def test_run_with_observability_artifacts(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        report_path = tmp_path / "report.json"
+        jsonl_path = tmp_path / "trace.jsonl"
+        code = main(["run", "--servers", "3", "--clients", "6",
+                     "--duration-us", "30",
+                     "--trace-out", str(trace_path),
+                     "--trace-jsonl", str(jsonl_path),
+                     "--metrics-out", str(report_path),
+                     "--metrics-window-us", "5", "--profile"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace" in out and "metrics" in out and "kernel:" in out
+
+        trace = json.loads(trace_path.read_text())
+        events = trace["traceEvents"]
+        assert events, "trace must contain events"
+        assert {"i", "X", "M"} <= {e["ph"] for e in events}
+        assert all("pid" in e and "tid" in e for e in events)
+        assert all("ts" in e for e in events if e["ph"] != "M")
+        assert trace["otherData"]["record_count"] > 0
+
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "repro.run_report/1"
+        assert report["meta"]["window_ns"] == 5000.0
+        assert report["windows"], "windowed throughput series missing"
+        assert all("p50_ns" in w and "p99_ns" in w
+                   and "throughput_ops_per_s" in w
+                   for w in report["windows"])
+        assert report["windows_by_node"]
+        assert report["messages"]["windows_by_type"]
+        assert report["lag"]["per_node"], "VP/DP lag series missing"
+        first_node = next(iter(report["lag"]["per_node"].values()))
+        assert "vp_mean_ns" in first_node[0]
+        assert "dp_p99_ns" in first_node[0]
+        assert report["profile"]["events_processed"] > 0
+        assert report["trace"]["records"] > 0
+
+        lines = jsonl_path.read_text().splitlines()
+        assert lines and all(json.loads(line)["cat"] for line in lines)
+
+    def test_run_trace_ring_caps_records(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        code = main(["run", "--servers", "3", "--clients", "6",
+                     "--duration-us", "30",
+                     "--trace-out", str(trace_path),
+                     "--trace-limit", "100", "--trace-ring"])
+        assert code == 0
+        trace = json.loads(trace_path.read_text())
+        assert trace["otherData"]["record_count"] == 100
+        assert trace["otherData"]["dropped_records"] > 0
+
+    def test_trace_subcommand(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        code = main(["trace", "--consistency", "causal",
+                     "--persistency", "eventual",
+                     "--servers", "3", "--clients", "6",
+                     "--duration-us", "30", "--limit", "3",
+                     "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "category counts:" in out
+        assert "msg_send" in out
+        data = json.loads(out_path.read_text())
+        assert data["traceEvents"]
+
+    def test_trace_subcommand_category_filter(self, capsys):
+        code = main(["trace", "--servers", "3", "--clients", "6",
+                     "--duration-us", "20", "--limit", "0",
+                     "--category", "persist"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "persist" in out
+        assert "msg_send" not in out
 
     def test_recover(self, capsys):
         code = main(["recover", "--consistency", "linearizable",

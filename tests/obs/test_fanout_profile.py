@@ -1,0 +1,90 @@
+"""Tests for the fan-out tracer and the kernel profiler."""
+
+from repro.obs import FanoutTracer, KernelProfile
+from repro.sim.engine import Simulator
+from repro.sim.trace import NullTracer, Tracer
+
+
+class TestFanoutTracer:
+    def test_forwards_to_every_sink(self):
+        a, b = Tracer(), Tracer()
+        fanout = FanoutTracer([a, b])
+        fanout.emit(1.0, "msg_send", node=0, msg="INV")
+        fanout.span(2.0, 5.0, "read_stall", node=1)
+        assert len(a) == 2 and len(b) == 2
+        assert a.records[1].dur == 3.0
+
+    def test_none_sinks_are_dropped(self):
+        tracer = Tracer()
+        fanout = FanoutTracer([None, tracer, None])
+        fanout.emit(1.0, "x")
+        assert len(fanout) == 1
+
+    def test_enabled_iff_any_sink_enabled(self):
+        assert FanoutTracer([Tracer()]).enabled
+        assert not FanoutTracer([NullTracer()]).enabled
+        assert not FanoutTracer([]).enabled
+        assert FanoutTracer([NullTracer(), Tracer()]).enabled
+
+    def test_empty_tracer_is_not_mistaken_for_disabled(self):
+        """An empty Tracer is len() == 0 (falsy); components must test
+        ``is not None``, not truthiness, or tracing silently drops."""
+        from repro.core.engine import ProtocolNode  # noqa: F401 - import guard
+        from repro.net.network import Network, NetworkConfig
+
+        tracer = Tracer()
+        assert not tracer  # the trap: empty tracer is falsy
+        network = Network(Simulator(), NetworkConfig(), tracer=tracer)
+        assert network.tracer is tracer
+
+
+class TestKernelProfile:
+    def _run_tiny_sim(self, profile):
+        sim = Simulator()
+        profile.attach(sim)
+
+        def worker():
+            for _ in range(5):
+                yield sim.timeout(10.0)
+
+        for _ in range(3):
+            sim.process(worker())
+        sim.run(until=100.0)
+        profile.stop(sim.now)
+        return sim
+
+    def test_counts_events_and_processes(self):
+        profile = KernelProfile()
+        self._run_tiny_sim(profile)
+        assert profile.processes_spawned == 3
+        assert profile.events_processed >= 15  # 3 workers x 5 timeouts
+        assert profile.heap_peak >= 1
+        assert profile.wall_seconds > 0.0
+        assert profile.sim_ns == 100.0
+
+    def test_stop_is_idempotent(self):
+        profile = KernelProfile()
+        self._run_tiny_sim(profile)
+        frozen = profile.wall_seconds
+        profile.stop(100.0)
+        assert profile.wall_seconds == frozen
+
+    def test_derived_rates_and_snapshot(self):
+        profile = KernelProfile()
+        self._run_tiny_sim(profile)
+        assert profile.events_per_wall_second > 0.0
+        assert profile.wall_seconds_per_sim_second > 0.0
+        snapshot = profile.snapshot()
+        assert snapshot["events_processed"] == profile.events_processed
+        assert snapshot["heap_peak"] == profile.heap_peak
+        assert "kernel:" in profile.format()
+
+    def test_detached_simulator_profiles_nothing(self):
+        sim = Simulator()
+        assert sim.profile is None
+
+        def worker():
+            yield sim.timeout(1.0)
+
+        sim.process(worker())
+        sim.run(until=10.0)  # must not raise, no profile attached

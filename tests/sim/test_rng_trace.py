@@ -79,6 +79,72 @@ class TestTracer:
         tracer.clear()
         assert len(tracer) == 0
 
+    def test_span_records(self):
+        tracer = Tracer()
+        tracer.emit(10.0, "read_stall", node=0, dur=4.0, key=3)
+        tracer.span(20.0, 26.0, "write_stall", node=1)
+        first, second = tracer.records
+        assert first.phase == "X" and first.dur == 4.0
+        assert first.start == 6.0
+        assert first.details == {"key": 3}
+        assert second.dur == 6.0 and second.time == 26.0
+        assert "dur=4ns" in first.format()
+
+    def test_instant_records_have_no_duration(self):
+        tracer = Tracer()
+        tracer.emit(5.0, "msg_send", node=0)
+        (record,) = tracer.records
+        assert record.phase == "i" and record.dur == 0.0
+        assert record.start == record.time
+
+    def test_explicit_phase_override(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "queue_depth", node=0, phase="C", depth=12)
+        assert tracer.records[0].phase == "C"
+
+    def test_max_records_cap_keeps_head_and_counts_drops(self):
+        tracer = Tracer(max_records=3)
+        for i in range(10):
+            tracer.emit(float(i), "send", node=0)
+        assert len(tracer) == 3
+        assert [r.time for r in tracer.records] == [0.0, 1.0, 2.0]
+        assert tracer.dropped == 7
+
+    def test_ring_mode_keeps_tail_and_counts_drops(self):
+        tracer = Tracer(max_records=3, ring=True)
+        for i in range(10):
+            tracer.emit(float(i), "send", node=0)
+        assert len(tracer) == 3
+        assert [r.time for r in tracer.records] == [7.0, 8.0, 9.0]
+        assert tracer.dropped == 7
+
+    def test_cap_not_reached_drops_nothing(self):
+        for ring in (False, True):
+            tracer = Tracer(max_records=5, ring=ring)
+            tracer.emit(1.0, "send")
+            assert tracer.dropped == 0
+            assert len(tracer) == 1
+
+    def test_invalid_cap_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            Tracer(max_records=0)
+
+    def test_clear_resets_dropped(self):
+        tracer = Tracer(max_records=1)
+        tracer.emit(1.0, "a")
+        tracer.emit(2.0, "b")
+        assert tracer.dropped == 1
+        tracer.clear()
+        assert tracer.dropped == 0 and len(tracer) == 0
+
+    def test_categories_counts(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "send")
+        tracer.emit(2.0, "send")
+        tracer.emit(3.0, "recv")
+        assert tracer.categories() == {"send": 2, "recv": 1}
+
     def test_null_tracer_is_inert(self):
         tracer = NullTracer()
         tracer.emit(1.0, "anything", node=3)
