@@ -11,13 +11,16 @@ Run duration is tunable via ``REPRO_BENCH_DURATION_NS`` (default
 smoother numbers, lower it for a faster smoke pass.
 """
 
+import json
 import os
 import pathlib
+import time
 
 import pytest
 
 from repro.cluster.cluster import run_simulation
 from repro.cluster.config import ClusterConfig
+from repro.obs.report import _clean
 from repro.workload.ycsb import WORKLOADS
 
 DURATION_NS = float(os.environ.get("REPRO_BENCH_DURATION_NS", 150_000))
@@ -25,21 +28,35 @@ WARMUP_NS = min(10_000.0, DURATION_NS / 10)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+BENCH_SCHEMA = "repro.bench/1"
 
 _CACHE = {}
+_WALL_S = {}
+
+
+def _cache_key(model, workload, config, duration_ns):
+    workload = workload or WORKLOADS["A"]
+    config = config or ClusterConfig()
+    duration = duration_ns or DURATION_NS
+    return (model.key, workload, config, duration)
 
 
 def run_cached(model, workload=None, config=None, duration_ns=None):
     """Run one configuration once per session; later calls reuse it."""
-    workload = workload or WORKLOADS["A"]
-    config = config or ClusterConfig()
-    duration = duration_ns or DURATION_NS
-    key = (model.key, workload, config, duration)
+    key = _cache_key(model, workload, config, duration_ns)
     if key not in _CACHE:
-        _CACHE[key] = run_simulation(model, workload, config=config,
-                                     duration_ns=duration,
+        start = time.perf_counter()
+        _CACHE[key] = run_simulation(model, key[1], config=key[2],
+                                     duration_ns=key[3],
                                      warmup_ns=WARMUP_NS)
+        _WALL_S[key] = time.perf_counter() - start
     return _CACHE[key]
+
+
+def wall_clock_s(model, workload=None, config=None, duration_ns=None):
+    """Wall-clock seconds run_cached spent simulating this configuration
+    (0.0 if it was served from cache without ever running here)."""
+    return _WALL_S.get(_cache_key(model, workload, config, duration_ns), 0.0)
 
 
 def archive(name: str, text: str) -> None:
@@ -47,6 +64,31 @@ def archive(name: str, text: str) -> None:
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def archive_json(name: str, config: dict, metrics: dict,
+                 wall_clock_seconds: float = 0.0) -> None:
+    """Write the machine-readable twin of an archived table:
+    ``benchmarks/results/BENCH_<name>.json``.
+
+    ``config`` describes the swept parameters, ``metrics`` maps result
+    labels to :class:`~repro.analysis.metrics.Summary` objects (or plain
+    dicts); values are cleaned to strict JSON (NaN/inf -> null) so the
+    artifact is always parseable.
+    """
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "bench": name,
+        "config": _clean(config),
+        "metrics": _clean(metrics),
+        "wall_clock": {"seconds": round(wall_clock_seconds, 3)},
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True, allow_nan=False)
+        fh.write("\n")
+    print(f"bench json -> {path}")
 
 
 @pytest.fixture

@@ -9,7 +9,8 @@ both statistics are monotone in skew.
 
 import pytest
 
-from conftest import archive, run_cached, time_one_run
+from conftest import (DURATION_NS, archive, archive_json, run_cached,
+                      time_one_run, wall_clock_s)
 
 from repro.core.model import Consistency as C, DdpModel, Persistency as P
 from repro.workload.ycsb import WORKLOADS
@@ -56,6 +57,18 @@ def test_ablation_generate(sweep, time_one_run):
     lines.append("Paper operating points: ~30% of transactions conflict; "
                  ">30% of reads conflict in <Read-Enforced, Read-Enforced>.")
     archive("ablation_conflict_skew", "\n".join(lines))
+    archive_json(
+        "ablation_conflict_skew",
+        config={"workload": "YCSB-A", "zipf_thetas": THETAS,
+                "models": [str(TXN_MODEL), str(RE_RE)],
+                "duration_ns": DURATION_NS},
+        metrics={f"{label}@theta={theta}": summary
+                 for (label, theta), summary in sweep.items()},
+        wall_clock_seconds=sum(
+            wall_clock_s(TXN_MODEL if label == "txn" else RE_RE,
+                         workload=workload(theta))
+            for (label, theta) in sweep),
+    )
 
 
 def test_txn_conflicts_monotone_in_skew(sweep):

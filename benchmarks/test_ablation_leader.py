@@ -9,9 +9,12 @@ designated leader.  This ablation runs all four quadrants of that
 comparison and regenerates the gap.
 """
 
+import time
+
 import pytest
 
-from conftest import DURATION_NS, WARMUP_NS, archive, run_cached, time_one_run
+from conftest import (DURATION_NS, WARMUP_NS, archive, archive_json,
+                      run_cached, time_one_run)
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.config import ClusterConfig
@@ -38,11 +41,17 @@ def conflict_fraction(summary):
     return summary.reads_blocked_by_unpersisted / max(summary.requests * 0.5, 1)
 
 
+_SWEEP_WALL_S = [0.0]
+
+
 @pytest.fixture(scope="module")
 def quadrants():
-    return {(leaderless, clients): run_quadrant(leaderless, clients)
-            for leaderless in (True, False)
-            for clients in (10, 100)}
+    start = time.perf_counter()
+    results = {(leaderless, clients): run_quadrant(leaderless, clients)
+               for leaderless in (True, False)
+               for clients in (10, 100)}
+    _SWEEP_WALL_S[0] = time.perf_counter() - start
+    return results
 
 
 def test_generate(quadrants, time_one_run):
@@ -59,6 +68,17 @@ def test_generate(quadrants, time_one_run):
                      f"{conflict_fraction(summary):>14.1%} "
                      f"{summary.throughput_ops_per_s / 1e6:>12.2f}")
     archive("ablation_leader", "\n".join(lines))
+    archive_json(
+        "ablation_leader",
+        config={"workload": "YCSB-A", "model": str(RE_RE),
+                "topologies": ["leaderless", "leader"],
+                "client_counts": [10, 100],
+                "duration_ns": DURATION_NS, "warmup_ns": WARMUP_NS},
+        metrics={f"{'leaderless' if leaderless else 'leader'}"
+                 f"@clients={clients}": summary
+                 for (leaderless, clients), summary in quadrants.items()},
+        wall_clock_seconds=_SWEEP_WALL_S[0],
+    )
 
 
 def test_paper_quadrant_exceeds_30_percent(quadrants):

@@ -15,7 +15,8 @@ halving the banks makes the inversion pronounced.
 
 import pytest
 
-from conftest import archive, run_cached, time_one_run
+from conftest import (DURATION_NS, archive, archive_json, run_cached,
+                      time_one_run, wall_clock_s)
 
 from repro.cluster.config import ClusterConfig
 from repro.core.model import Consistency as C, DdpModel, Persistency as P
@@ -54,6 +55,23 @@ def test_ablation_generate(sweep, time_one_run):
         lines.append(f"{label:<30} {sync_rd:>12.0f} {re_rd:>13.0f} "
                      f"{'yes' if re_rd > sync_rd else 'no':>10}")
     archive("ablation_nvm_pressure", "\n".join(lines))
+    archive_json(
+        "ablation_nvm_pressure",
+        config={"workload": "YCSB-A",
+                "models": [str(LIN_SYNC), str(LIN_RE)],
+                "nvm_configs": {
+                    label: {"read_ns": timing.read_ns,
+                            "write_ns": timing.write_ns,
+                            "total_banks": timing.total_banks}
+                    for label, timing in NVM_CONFIGS},
+                "duration_ns": DURATION_NS},
+        metrics={f"{str(model)}@{label}": summary
+                 for (label, model), summary in sweep.items()},
+        wall_clock_seconds=sum(
+            wall_clock_s(model, config=ClusterConfig(nvm_timing=timing))
+            for label, timing in NVM_CONFIGS
+            for model in (LIN_SYNC, LIN_RE)),
+    )
 
 
 def test_inversion_appears_under_pressure(sweep):

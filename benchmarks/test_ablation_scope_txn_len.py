@@ -15,7 +15,8 @@ import dataclasses
 
 import pytest
 
-from conftest import archive, run_cached, time_one_run
+from conftest import (DURATION_NS, archive, archive_json, run_cached,
+                      time_one_run, wall_clock_s)
 
 from repro.cluster.config import ClusterConfig
 from repro.core.engine import ProtocolConfig
@@ -64,6 +65,24 @@ def test_ablation_generate(scope_sweep, txn_sweep, time_one_run):
         lines.append(f"{length:>10} {summary.throughput_ops_per_s / 1e6:>12.2f} "
                      f"{rate:>13.1%}")
     archive("ablation_scope_txn_len", "\n".join(lines))
+    archive_json(
+        "ablation_scope_txn_len",
+        config={"workload": "YCSB-A",
+                "scope_model": str(SCOPE_MODEL),
+                "scope_lengths": SCOPE_LENGTHS,
+                "txn_model": str(TXN_MODEL),
+                "txn_lengths": TXN_LENGTHS,
+                "duration_ns": DURATION_NS},
+        metrics={**{f"scope_len={length}": summary
+                    for length, summary in scope_sweep.items()},
+                 **{f"txn_len={length}": summary
+                    for length, summary in txn_sweep.items()}},
+        wall_clock_seconds=(
+            sum(wall_clock_s(SCOPE_MODEL, config=scope_config(length))
+                for length in SCOPE_LENGTHS)
+            + sum(wall_clock_s(TXN_MODEL, config=txn_config(length))
+                  for length in TXN_LENGTHS)),
+    )
 
 
 def test_longer_scopes_amortize_persist_rounds(scope_sweep):

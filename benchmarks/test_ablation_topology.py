@@ -12,7 +12,8 @@ import dataclasses
 
 import pytest
 
-from conftest import archive, run_cached, time_one_run
+from conftest import (DURATION_NS, archive, archive_json, run_cached,
+                      time_one_run, wall_clock_s)
 
 from repro.cluster.config import ClusterConfig
 from repro.core.engine import ProtocolConfig
@@ -51,6 +52,18 @@ def test_ablation_generate(sweep, time_one_run):
                          f"{summary.throughput_ops_per_s / 1e6:>12.2f} "
                          f"{summary.mean_write_ns:>10.0f}")
     archive("ablation_topology", "\n".join(lines))
+    archive_json(
+        "ablation_topology",
+        config={"workload": "YCSB-A", "model": str(MODEL),
+                "server_counts": [3, 5],
+                "topologies": ["broadcast", "chain"],
+                "duration_ns": DURATION_NS},
+        metrics={f"{'chain' if chain else 'broadcast'}@servers={servers}":
+                 summary for (servers, chain), summary in sweep.items()},
+        wall_clock_seconds=sum(
+            wall_clock_s(MODEL, config=config_for(chain, servers))
+            for servers in (3, 5) for chain in (False, True)),
+    )
 
 
 def test_broadcast_beats_chain(sweep):

@@ -20,7 +20,8 @@ Asserted shapes (paper Section 8.1):
 
 import pytest
 
-from conftest import archive, run_cached, time_one_run
+from conftest import (DURATION_NS, WARMUP_NS, archive, archive_json,
+                      run_cached, time_one_run, wall_clock_s)
 
 from repro.analysis.report import format_figure6_table, format_grid
 from repro.core.model import Consistency as C, DdpModel, Persistency as P, all_ddp_models
@@ -127,6 +128,20 @@ def test_fig6_traffic_shapes(fig6):
     causal = bytes_per_request(DdpModel(C.CAUSAL, P.SYNCHRONOUS))
     eventual = bytes_per_request(DdpModel(C.EVENTUAL, P.SYNCHRONOUS))
     assert causal > eventual
+
+
+def test_fig6_emit_bench_json(fig6):
+    archive_json(
+        "fig6",
+        config={
+            "workload": "YCSB-A",
+            "duration_ns": DURATION_NS,
+            "warmup_ns": WARMUP_NS,
+            "models": [str(model) for model in fig6],
+        },
+        metrics={str(model): summary for model, summary in fig6.items()},
+        wall_clock_seconds=sum(wall_clock_s(model) for model in fig6),
+    )
 
 
 def test_fig6_archive_raw_numbers(fig6):

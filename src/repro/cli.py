@@ -8,6 +8,10 @@ Subcommands:
   throughput/latency and VP/DP-lag series), and kernel profile counters.
 * ``trace`` — run one model and dump its timeline: writes the
   Chrome-trace file and prints a category summary plus the first records.
+* ``journey`` — per-update critical-path waterfalls: where each write's
+  end-to-end VP/DP latency went (network / coordination-wait / NVM-queue
+  / device / compute), aggregated and for the slowest updates; ``--all``
+  sweeps the 25-model matrix fig6-style.
 * ``sweep`` — run several models on the same workload, normalized to
   <Linearizable, Synchronous> (a one-line Figure 6 slice).
 * ``tradeoffs`` — print the derived Table 4 (or the full 25-model grid).
@@ -19,6 +23,8 @@ Examples::
     python -m repro.cli run --consistency causal --persistency synchronous
     python -m repro.cli run --trace-out t.json --metrics-out m.json --profile
     python -m repro.cli trace --consistency causal --persistency eventual
+    python -m repro.cli journey --consistency linearizable --slowest 3
+    python -m repro.cli journey --all --duration-us 40
     python -m repro.cli sweep --workload B --duration-us 150
     python -m repro.cli tradeoffs --all
     python -m repro.cli recover --persistency eventual --strategy majority
@@ -33,15 +39,18 @@ from typing import List, Optional
 from repro.analysis.metrics import Metrics
 from repro.analysis.points import PointsTracker
 from repro.analysis.report import format_summary_table
+from repro.analysis.waterfall import aggregate_journeys, format_waterfall
 from repro.cluster.cluster import Cluster, run_simulation
 from repro.cluster.config import ClusterConfig
 from repro.core.model import Consistency, DdpModel, Persistency, all_ddp_models
 from repro.core.tradeoffs import analyze_all
 from repro.obs import (
     FanoutTracer,
+    JourneyTracker,
     JsonlSink,
     KernelProfile,
     build_run_report,
+    journey_chrome_events,
     write_chrome_trace,
     write_run_report,
 )
@@ -100,6 +109,10 @@ def _add_observability(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics-window-us", type=_positive(float),
                         default=10.0,
                         help="time-series window size (default: 10 us)")
+    parser.add_argument("--journey-out", metavar="PATH", default=None,
+                        help="track per-update journeys and write a "
+                             "run-report JSON with the critical-path "
+                             "waterfall (journeys section)")
     parser.add_argument("--profile", action="store_true",
                         help="collect and print simulation-kernel "
                              "profile counters")
@@ -111,9 +124,13 @@ class _Observability:
     def __init__(self, args):
         want_trace = bool(getattr(args, "trace_out", None)
                           or getattr(args, "trace_jsonl", None))
-        want_metrics = bool(getattr(args, "metrics_out", None))
+        want_journey = bool(getattr(args, "journey_out", None))
+        # A journey report rides in the full run-report document, so it
+        # needs the same metrics/points collectors as --metrics-out.
+        want_metrics = bool(getattr(args, "metrics_out", None)) or want_journey
         # Fail on an unwritable destination now, not after simulating.
-        for path in (getattr(args, "trace_out", None), args.metrics_out):
+        for path in (getattr(args, "trace_out", None), args.metrics_out,
+                     getattr(args, "journey_out", None)):
             if path:
                 try:
                     open(path, "w").close()
@@ -124,12 +141,14 @@ class _Observability:
                               ring=args.trace_ring)
                        if want_trace else None)
         self.points = PointsTracker(args.servers) if want_metrics else None
+        self.journey = JourneyTracker(args.servers) if want_journey else None
         self.jsonl = (JsonlSink(args.trace_jsonl)
                       if getattr(args, "trace_jsonl", None) else None)
         self.metrics = (Metrics(window_ns=self.window_ns)
                         if want_metrics else None)
         self.profile = KernelProfile() if args.profile else None
-        sinks = [s for s in (self.tracer, self.points, self.jsonl)
+        sinks = [s for s in (self.tracer, self.points, self.journey,
+                             self.jsonl)
                  if s is not None]
         self.engine_tracer = (sinks[0] if len(sinks) == 1
                               else FanoutTracer(sinks) if sinks else None)
@@ -150,9 +169,18 @@ class _Observability:
             "duration_ns": duration_ns,
             "warmup_ns": warmup_ns,
         }
+        waterfall = None
+        if self.journey is not None:
+            waterfall = aggregate_journeys(self.journey.journeys,
+                                           args.servers, label=str(model),
+                                           dropped=self.journey.dropped)
         if getattr(args, "trace_out", None):
+            extra = (journey_chrome_events(self.journey.journeys,
+                                           args.servers)
+                     if self.journey is not None else None)
             write_chrome_trace(args.trace_out, self.tracer.records,
-                               dropped=self.tracer.dropped, meta=meta)
+                               dropped=self.tracer.dropped, meta=meta,
+                               extra_events=extra)
             print(f"trace    -> {args.trace_out} "
                   f"({len(self.tracer)} records, "
                   f"{self.tracer.dropped} dropped)")
@@ -160,10 +188,21 @@ class _Observability:
             report = build_run_report(summary, self.metrics, self.window_ns,
                                       meta=meta, points=self.points,
                                       profile=self.profile,
-                                      tracer=self.tracer)
+                                      tracer=self.tracer,
+                                      journeys=waterfall)
             write_run_report(args.metrics_out, report)
             print(f"metrics  -> {args.metrics_out} "
                   f"(window {args.metrics_window_us:g} us)")
+        if getattr(args, "journey_out", None):
+            report = build_run_report(summary, self.metrics, self.window_ns,
+                                      meta=meta, points=self.points,
+                                      profile=self.profile,
+                                      tracer=self.tracer,
+                                      journeys=waterfall)
+            write_run_report(args.journey_out, report)
+            print(f"journeys -> {args.journey_out} "
+                  f"({len(self.journey)} tracked, "
+                  f"{self.journey.dropped} dropped)")
         if self.profile is not None:
             print(self.profile.format())
 
@@ -196,6 +235,38 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--category", action="append", default=None,
                               help="only trace these categories "
                                    "(repeatable)")
+    trace_parser.add_argument("--max-records", type=_positive(int),
+                              default=1_000_000,
+                              help="max in-memory trace records "
+                                   "(default: 1M)")
+    trace_parser.add_argument("--ring", action="store_true",
+                              help="keep the newest records when the "
+                                   "limit is hit instead of the oldest")
+
+    journey_parser = subparsers.add_parser(
+        "journey", help="per-update critical-path latency waterfalls")
+    journey_parser.add_argument("--consistency", default="causal",
+                                choices=[c.value for c in Consistency])
+    journey_parser.add_argument("--persistency", default="synchronous",
+                                choices=[p.value for p in Persistency])
+    journey_parser.add_argument("--all", action="store_true",
+                                help="fig6-style sweep: one waterfall per "
+                                     "model of the 5x5 matrix")
+    _add_common(journey_parser)
+    journey_parser.add_argument("--key", type=int, default=None,
+                                help="only updates to this key")
+    journey_parser.add_argument("--node", type=int, default=None,
+                                help="only updates coordinated by this node")
+    journey_parser.add_argument("--slowest", type=int, default=5,
+                                help="slowest-N updates to break down "
+                                     "individually (default: 5)")
+    journey_parser.add_argument("--sample-every", type=_positive(int),
+                                default=1,
+                                help="track every Nth write (default: 1)")
+    journey_parser.add_argument("--journey-out", metavar="PATH", default=None,
+                                help="write the run-report JSON "
+                                     "(repro.run_report/2) with the "
+                                     "journeys section (single model only)")
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="compare models on one workload")
@@ -244,7 +315,8 @@ def _cmd_trace(args) -> int:
     model = _model_from(args)
     duration = args.duration_us * 1000.0
     warmup = duration / 10
-    tracer = Tracer(categories=args.category)
+    tracer = Tracer(categories=args.category, max_records=args.max_records,
+                    ring=args.ring)
     summary = run_simulation(model, WORKLOADS[args.workload],
                              config=_config_from(args),
                              duration_ns=duration,
@@ -252,7 +324,13 @@ def _cmd_trace(args) -> int:
                              tracer=tracer)
     print(f"model: {model}   throughput: "
           f"{summary.throughput_ops_per_s / 1e6:.2f} Mops/s   "
-          f"records: {len(tracer)}")
+          f"records: {len(tracer)}   dropped: {tracer.dropped}")
+    if tracer.dropped:
+        end = "oldest" if args.ring else "newest"
+        print(f"WARNING: timeline truncated — {tracer.dropped} {end} "
+              f"records dropped at the --max-records={args.max_records} "
+              f"cap; raise it or switch --ring to change which end is "
+              f"kept")
     print("\ncategory counts:")
     for category, count in sorted(tracer.categories().items()):
         print(f"  {category:28s} {count:8d}")
@@ -265,6 +343,62 @@ def _cmd_trace(args) -> int:
                                  "workload": args.workload,
                                  "seed": args.seed})
         print(f"\ntrace -> {args.out}")
+    return 0
+
+
+def _cmd_journey(args) -> int:
+    if args.journey_out and args.all:
+        raise SystemExit("repro: --journey-out needs a single model "
+                         "(drop --all)")
+    duration = args.duration_us * 1000.0
+    warmup = duration / 10
+    window_ns = 10_000.0
+    models = all_ddp_models() if args.all else [_model_from(args)]
+    first = True
+    for model in models:
+        tracker = JourneyTracker(args.servers,
+                                 sample_every=args.sample_every)
+        metrics = (Metrics(window_ns=window_ns)
+                   if args.journey_out else None)
+        points = PointsTracker(args.servers) if args.journey_out else None
+        engine_tracer = (tracker if points is None
+                         else FanoutTracer([tracker, points]))
+        summary = run_simulation(model, WORKLOADS[args.workload],
+                                 config=_config_from(args),
+                                 duration_ns=duration,
+                                 warmup_ns=warmup,
+                                 tracer=engine_tracer,
+                                 metrics=metrics)
+        journeys = tracker.journeys
+        if args.key is not None:
+            journeys = [j for j in journeys if j.key == args.key]
+        if args.node is not None:
+            journeys = [j for j in journeys if j.coordinator == args.node]
+        report = aggregate_journeys(journeys, args.servers,
+                                    label=str(model),
+                                    slowest=args.slowest,
+                                    dropped=tracker.dropped)
+        if not first:
+            print()
+        first = False
+        print(format_waterfall(report))
+        if args.journey_out:
+            meta = {
+                "model": str(model),
+                "consistency": model.consistency.value,
+                "persistency": model.persistency.value,
+                "workload": args.workload,
+                "servers": args.servers,
+                "clients": args.clients,
+                "seed": args.seed,
+                "duration_ns": duration,
+                "warmup_ns": warmup,
+            }
+            doc = build_run_report(summary, metrics, window_ns, meta=meta,
+                                   points=points, journeys=report)
+            write_run_report(args.journey_out, doc)
+            print(f"\njourneys -> {args.journey_out} "
+                  f"({len(tracker)} tracked, {tracker.dropped} dropped)")
     return 0
 
 
@@ -325,6 +459,7 @@ def _cmd_recover(args) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "trace": _cmd_trace,
+    "journey": _cmd_journey,
     "sweep": _cmd_sweep,
     "tradeoffs": _cmd_tradeoffs,
     "recover": _cmd_recover,

@@ -39,6 +39,13 @@ class ClientContext:
         # Version returned by the session's most recent read (set by the
         # engine; used by session-guarantee validation and recorders).
         self.last_read_version: Version = (0, -1)
+        # Leader-variant forwarding provenance, set (under tracing) by
+        # the origin node before handing the write to the leader and
+        # consumed by the leader's _do_write so journey records can
+        # attribute the forward hop: when the client write entered the
+        # origin node, and how much of the gap was wire time.
+        self.forward_start_ns = None
+        self.forward_net_ns = 0.0
 
     # -- causal dependencies ------------------------------------------------------
 

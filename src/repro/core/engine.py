@@ -207,31 +207,43 @@ class ProtocolNode:
         self.tracer.emit(self.sim.now, kind, node=self.node_id,
                          key=key, version=version)
 
-    def _send(self, dst: int, message: Message) -> None:
+    def _send(self, dst: int, message: Message, lazy: bool = False) -> None:
         self.metrics.record_message(message.msg_type.value, message.size_bytes,
                                     time_ns=self.sim.now)
         if self.tracer.enabled:
+            details = dict(msg=message.msg_type.value, dst=dst,
+                           op_id=message.op_id, key=message.key,
+                           version=message.version, bytes=message.size_bytes)
+            if lazy:
+                details["lazy"] = True
             self.tracer.emit(self.sim.now, "msg_send", node=self.node_id,
-                             msg=message.msg_type.value, dst=dst,
-                             op_id=message.op_id, key=message.key,
-                             bytes=message.size_bytes)
+                             **details)
         self.network.send(self.node_id, dst, message, message.size_bytes)
 
-    def _broadcast(self, message: Message) -> None:
+    def _broadcast(self, message: Message, lazy: bool = False) -> None:
         if self.config.chain_propagation:
-            self.sim.process(self._chain_send(message),
+            self.sim.process(self._chain_send(message, lazy),
                              name=f"n{self.node_id}.chain")
             return
         for dst in self.peer_ids:
-            self._send(dst, message)
+            self._send(dst, message, lazy)
 
-    def _chain_send(self, message: Message) -> Generator:
+    def _chain_send(self, message: Message, lazy: bool = False) -> Generator:
         """Sequential propagation (ablation): the message reaches follower
         k only after it has been delivered at follower k-1."""
         for dst in self.peer_ids:
             self.metrics.record_message(message.msg_type.value,
                                         message.size_bytes,
                                         time_ns=self.sim.now)
+            if self.tracer.enabled:
+                details = dict(msg=message.msg_type.value, dst=dst,
+                               op_id=message.op_id, key=message.key,
+                               version=message.version,
+                               bytes=message.size_bytes, chain=True)
+                if lazy:
+                    details["lazy"] = True
+                self.tracer.emit(self.sim.now, "msg_send",
+                                 node=self.node_id, **details)
             yield self.network.send(self.node_id, dst, message,
                                     message.size_bytes)
 
@@ -271,8 +283,12 @@ class ProtocolNode:
                              name=f"n{self.node_id}.crecheck")
 
     def _request_persist(self, replica: KeyReplica, version: Version,
-                         value: Any) -> None:
+                         value: Any, trigger: str = "inline") -> None:
         """Ask for (key, version) to become durable.
+
+        ``trigger`` names what placed the persist (inline / eager / lazy /
+        scope / endx / strict) so journey records can tell a deliberate
+        persist delay from NVM queueing.
 
         Models memory-controller write combining: while a media write for
         the key is queued or in service, newer versions overwrite the
@@ -283,7 +299,7 @@ class ProtocolNode:
             return
         if self.tracer.enabled:
             self.tracer.emit(self.sim.now, "persist_issue", node=self.node_id,
-                             key=replica.key, version=version)
+                             key=replica.key, version=version, trigger=trigger)
         replica.persist_requested = version
         replica.persist_target = (version, value)
         if not replica.persist_active:
@@ -301,7 +317,8 @@ class ProtocolNode:
         replica.persist_active = False
 
     def _ensure_persisted(self, replica: KeyReplica, version: Version,
-                          value: Any, scope_id: Optional[int] = None) -> Generator:
+                          value: Any, scope_id: Optional[int] = None,
+                          trigger: str = "inline") -> Generator:
         """Process: return once ``version`` (or newer) is durable locally.
 
         Scope-tagged persists bypass write combining so that the durable
@@ -311,27 +328,33 @@ class ProtocolNode:
             return
         if scope_id is not None:
             if replica.persist_requested < version:
+                if self.tracer.enabled:
+                    self.tracer.emit(self.sim.now, "persist_issue",
+                                     node=self.node_id, key=replica.key,
+                                     version=version, trigger="scope")
                 replica.persist_requested = version
                 yield from self.memory.persist(replica.key)
                 self._mark_durable(replica, version, value, scope_id)
                 return
         else:
-            self._request_persist(replica, version, value)
+            self._request_persist(replica, version, value, trigger)
         yield replica.condition.wait_for(
             lambda: replica.persisted_version >= version)
 
     def _spawn_persist(self, replica: KeyReplica, version: Version, value: Any,
                        delay_ns: float = 0.0,
-                       scope_id: Optional[int] = None):
+                       scope_id: Optional[int] = None,
+                       trigger: str = "inline"):
         """Schedule a background persist (eager or lazy)."""
         if delay_ns <= 0 and scope_id is None:
-            self._request_persist(replica, version, value)
+            self._request_persist(replica, version, value, trigger)
             return None
 
         def runner() -> Generator:
             if delay_ns > 0:
                 yield self.sim.timeout(delay_ns)
-            yield from self._ensure_persisted(replica, version, value, scope_id)
+            yield from self._ensure_persisted(replica, version, value, scope_id,
+                                              trigger=trigger)
 
         return self.sim.process(runner(), name=f"n{self.node_id}.bgpersist")
 
@@ -427,6 +450,11 @@ class ProtocolNode:
             self.request_workers.release()
 
     def _do_write(self, ctx: ClientContext, key: int, value: Any) -> Generator:
+        entry_ns = self.sim.now
+        fwd_start = ctx.forward_start_ns
+        fwd_net = ctx.forward_net_ns
+        ctx.forward_start_ns = None
+        ctx.forward_net_ns = 0.0
         yield self.sim.timeout(self.config.req_proc_ns
                                + self._store_write_cost(key, value))
         replica = self.replicas.get(key)
@@ -438,8 +466,8 @@ class ProtocolNode:
         # invalidation (its own or a remote writer's): conflicting writers
         # serialize (Section 5.2).  The loop re-checks after waking
         # because another woken writer may have claimed the key first.
+        stall_start = self.sim.now
         if self.cpolicy.write_stalls_on_transient:
-            stall_start = self.sim.now
             while replica.transient:
                 self.metrics.write_stalls += 1
                 yield replica.condition.wait_for(lambda: not replica.transient)
@@ -450,8 +478,15 @@ class ProtocolNode:
 
         version = replica.next_version(self.node_id)
         if self.tracer.enabled:
+            details = dict(key=key, version=version,
+                           start=entry_ns if fwd_start is None else fwd_start,
+                           stall_ns=self.sim.now - stall_start)
+            if fwd_start is not None:
+                details["fwd_net_ns"] = fwd_net
+                details["fwd_wait_ns"] = max(entry_ns - fwd_start - fwd_net,
+                                             0.0)
             self.tracer.emit(self.sim.now, "write_issue", node=self.node_id,
-                             key=key, version=version)
+                             **details)
         if self.version_board is not None:
             self.version_board.note_write(key, version)
         if self.store is not None:
@@ -466,6 +501,9 @@ class ProtocolNode:
             ctx.observe(key, version)
         if self.ppolicy.persist_mode is PersistMode.ON_SCOPE_END:
             ctx.record_scope_write(key, version)
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, "write_complete",
+                             node=self.node_id, key=key, version=version)
 
     # -- invalidation-based consistency (Linearizable / Read-Enf. / Txn) --
 
@@ -507,13 +545,18 @@ class ProtocolNode:
             # the write completes only after the full round.  The local
             # persist overlaps the INV round trip (Figure 2(a)).
             if inline_persist or self.ppolicy.dual_acks:
-                self._spawn_persist(replica, version, value)
+                self._spawn_persist(replica, version, value,
+                                    trigger="strict" if strict else
+                                    "inline" if inline_persist else "eager")
             elif self.ppolicy.persist_mode is PersistMode.LAZY_BACKGROUND:
                 self._spawn_persist(replica, version, value,
-                                    delay_ns=self.config.lazy_persist_delay_ns)
+                                    delay_ns=self.config.lazy_persist_delay_ns,
+                                    trigger="lazy")
             yield op.ack_c.wait()
             if inline_persist:
-                yield from self._ensure_persisted(replica, version, value)
+                yield from self._ensure_persisted(
+                    replica, version, value,
+                    trigger="strict" if strict else "inline")
             self._finish_invalidation(op, replica)
             if self.ppolicy.dual_acks:
                 self.sim.process(self._await_cluster_persist(op, replica),
@@ -523,7 +566,7 @@ class ProtocolNode:
         # Read-Enforced / Transactional consistency: the client write
         # completes now; the round finishes in the background.
         if self.ppolicy.dual_acks:
-            self._spawn_persist(replica, version, value)
+            self._spawn_persist(replica, version, value, trigger="eager")
             self.sim.process(self._background_round_dual(op, replica),
                              name=f"n{self.node_id}.bground")
         elif txn_id is not None:
@@ -532,14 +575,16 @@ class ProtocolNode:
             # Eventual persistency stays lazy even inside transactions.
             if self.ppolicy.persist_mode is PersistMode.LAZY_BACKGROUND:
                 self._spawn_persist(replica, version, value,
-                                    delay_ns=self.config.lazy_persist_delay_ns)
+                                    delay_ns=self.config.lazy_persist_delay_ns,
+                                    trigger="lazy")
             self.sim.process(self._background_round_txn(op), name="txnround")
         else:
             if self.ppolicy.persist_mode is PersistMode.INLINE:
                 self._spawn_persist(replica, version, value)
             elif self.ppolicy.persist_mode is PersistMode.LAZY_BACKGROUND:
                 self._spawn_persist(replica, version, value,
-                                    delay_ns=self.config.lazy_persist_delay_ns)
+                                    delay_ns=self.config.lazy_persist_delay_ns,
+                                    trigger="lazy")
             self.sim.process(self._background_round_simple(op, replica),
                              name=f"n{self.node_id}.bground")
 
@@ -576,7 +621,8 @@ class ProtocolNode:
         """Read-Enforced persistency: gather ACK_p from every follower and
         the local persist, then broadcast VAL_p (Figure 3(a))."""
         yield op.ack_p.wait()
-        yield from self._ensure_persisted(replica, op.version, op.value)
+        yield from self._ensure_persisted(replica, op.version, op.value,
+                                          trigger="eager")
         self._broadcast(Message(MsgType.VAL_P, src=self.node_id, op_id=op.op_id,
                                 key=op.key, version=op.version,
                                 txn_id=op.txn_id))
@@ -633,7 +679,8 @@ class ProtocolNode:
                           ack_p=Latch(self.sim, len(self.peer_ids)))
             self._outstanding_writes[op_id] = op
             self._broadcast(message)
-            yield from self._ensure_persisted(replica, version, value)
+            yield from self._ensure_persisted(replica, version, value,
+                                              trigger="strict")
             yield op.ack_p.wait()
             self._outstanding_writes.pop(op_id, None)
             return
@@ -648,7 +695,7 @@ class ProtocolNode:
             # path, Figure 2(e)); reads return the persisted version.
             self._spawn_persist(replica, version, value)
         elif self.ppolicy.persist_mode is PersistMode.EAGER_BACKGROUND:
-            self._spawn_persist(replica, version, value)
+            self._spawn_persist(replica, version, value, trigger="eager")
             op = _WriteOp(op_id=op_id, key=replica.key, version=version,
                           value=value, ack_c=Latch(self.sim, 0),
                           ack_p=Latch(self.sim, len(self.peer_ids)))
@@ -657,13 +704,14 @@ class ProtocolNode:
                              name=f"n{self.node_id}.cvalp")
         elif self.ppolicy.persist_mode is PersistMode.LAZY_BACKGROUND:
             self._spawn_persist(replica, version, value,
-                                delay_ns=self.config.lazy_persist_delay_ns)
+                                delay_ns=self.config.lazy_persist_delay_ns,
+                                trigger="lazy")
         # ON_SCOPE_END: nothing now; the scope's Persist call handles it.
 
     def _spawn_lazy_broadcast(self, message: Message):
         def runner() -> Generator:
             yield self.sim.timeout(self.config.lazy_propagation_delay_ns)
-            self._broadcast(message)
+            self._broadcast(message, lazy=True)
 
         return self.sim.process(runner(), name=f"n{self.node_id}.lazyupd")
 
@@ -731,7 +779,8 @@ class ProtocolNode:
             elif self.ppolicy.persist_mode is PersistMode.EAGER_BACKGROUND:
                 for key, version in payload:
                     replica = self.replicas.get(key)
-                    self._spawn_persist(replica, version, replica.applied_value)
+                    self._spawn_persist(replica, version,
+                                        replica.applied_value, trigger="endx")
             yield round_op.acks.wait()
             self._outstanding_rounds.pop(op_id, None)
             self.txn_table.commit(txn)
@@ -789,13 +838,14 @@ class ProtocolNode:
 
     def _persist_many(self, pairs: Tuple[Tuple[int, Version], ...]) -> Generator:
         """Process: persist several (key, version) pairs concurrently and
-        wait for all of them."""
+        wait for all of them (used by the ENDX rounds)."""
         procs = []
         for key, version in pairs:
             replica = self.replicas.get(key)
             value = replica.applied_value
             procs.append(self.sim.process(
-                self._ensure_persisted(replica, version, value),
+                self._ensure_persisted(replica, version, value,
+                                       trigger="endx"),
                 name=f"n{self.node_id}.pmany"))
         if procs:
             yield self.sim.all_of(procs)
@@ -883,7 +933,8 @@ class ProtocolNode:
         if tracing:
             self.tracer.emit(self.sim.now, "msg_recv", node=self.node_id,
                              msg=message.msg_type.value, src=message.src,
-                             op_id=message.op_id, key=message.key)
+                             op_id=message.op_id, key=message.key,
+                             version=message.version)
             handle_start = self.sim.now
         yield from self._charge_protocol_cpu()
         handler = {
@@ -930,8 +981,9 @@ class ProtocolNode:
                   and message.txn_id is None) or strict
         if inline:
             # Synchronous/Strict: persist before acknowledging (Fig. 2(b)).
-            yield from self._ensure_persisted(replica, message.version,
-                                              message.value)
+            yield from self._ensure_persisted(
+                replica, message.version, message.value,
+                trigger="strict" if strict else "inline")
             self._send(message.src, Message(MsgType.ACK, src=self.node_id,
                                             op_id=message.op_id,
                                             key=message.key,
@@ -947,12 +999,15 @@ class ProtocolNode:
                 name=f"n{self.node_id}.ackp")
         elif self.ppolicy.persist_mode is PersistMode.LAZY_BACKGROUND:
             self._spawn_persist(replica, message.version, message.value,
-                                delay_ns=self.config.lazy_persist_delay_ns)
+                                delay_ns=self.config.lazy_persist_delay_ns,
+                                trigger="lazy")
         # INLINE within a transaction: persist deferred to ENDX.
         # ON_SCOPE_END: persist deferred to the PERSIST message.
 
-    def _persist_then_ack_p(self, replica: KeyReplica, message: Message) -> Generator:
-        yield from self._ensure_persisted(replica, message.version, message.value)
+    def _persist_then_ack_p(self, replica: KeyReplica, message: Message,
+                            trigger: str = "eager") -> Generator:
+        yield from self._ensure_persisted(replica, message.version,
+                                          message.value, trigger=trigger)
         self._send(message.src, Message(MsgType.ACK_P, src=self.node_id,
                                         op_id=message.op_id, key=message.key,
                                         version=message.version))
@@ -1023,7 +1078,8 @@ class ProtocolNode:
             # Strict: durability is immediate and independent of
             # visibility ordering (the update may persist before the
             # volatile replica is updated).
-            self.sim.process(self._persist_then_ack_p(replica, message),
+            self.sim.process(self._persist_then_ack_p(replica, message,
+                                                      trigger="strict"),
                              name=f"n{self.node_id}.strictp")
         if self.cpolicy.causal:
             unmet = self._first_unmet_dep(message.cauhist)
@@ -1054,7 +1110,7 @@ class ProtocolNode:
         if self.tracer.enabled:
             self.tracer.emit(self.sim.now, "causal_buffered",
                              node=self.node_id, key=message.key,
-                             waiting_on=unmet_key,
+                             version=message.version, waiting_on=unmet_key,
                              depth=self._causal_waiting_count)
 
     def _recheck_causal_waiters(self, key: int) -> Generator:
@@ -1075,6 +1131,7 @@ class ProtocolNode:
                 if self.tracer.enabled:
                     self.tracer.emit(self.sim.now, "causal_released",
                                      node=self.node_id, key=message.key,
+                                     version=message.version,
                                      unblocked_by=advanced_key)
                 yield from self._apply_update(message)
                 work.append(message.key)
@@ -1102,7 +1159,8 @@ class ProtocolNode:
                              name=f"n{self.node_id}.ackp")
         elif mode is PersistMode.LAZY_BACKGROUND:
             self._spawn_persist(replica, message.version, message.value,
-                                delay_ns=self.config.lazy_persist_delay_ns)
+                                delay_ns=self.config.lazy_persist_delay_ns,
+                                trigger="lazy")
         # ON_SCOPE_END: wait for the PERSIST message.
 
     # -- transaction rounds -------------------------------------------------------
@@ -1131,7 +1189,8 @@ class ProtocolNode:
         elif self.ppolicy.persist_mode is PersistMode.EAGER_BACKGROUND:
             for key, version in message.payload:
                 replica = self.replicas.get(key)
-                self._spawn_persist(replica, version, replica.applied_value)
+                self._spawn_persist(replica, version, replica.applied_value,
+                                    trigger="endx")
         self._send(message.src, Message(MsgType.ACK, src=self.node_id,
                                         op_id=message.op_id,
                                         txn_id=message.txn_id))

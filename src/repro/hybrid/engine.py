@@ -50,11 +50,7 @@ class HybridProtocolNode(ProtocolNode):
         def runner() -> Generator:
             yield self.sim.timeout(self.config.lazy_propagation_delay_ns)
             for dst in self.remote_ids:
-                self.metrics.record_message(message.msg_type.value,
-                                            message.size_bytes,
-                                            time_ns=self.sim.now)
-                self.network.send(self.node_id, dst, message,
-                                  message.size_bytes)
+                self._send(dst, message, lazy=True)
             self.remote_upds_sent += len(self.remote_ids)
             if self.tracer.enabled:
                 self.tracer.emit(self.sim.now, "xdc_upd", node=self.node_id,

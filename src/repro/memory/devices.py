@@ -128,10 +128,13 @@ class NvmDevice(MemoryDevice):
             start = self.sim.now
             yield from self._access(address, self.timing.write_ns)
             # Span covers bank queueing + media service time, so NVM
-            # pressure shows up directly as widening persist spans.
+            # pressure shows up directly as widening persist spans;
+            # service_ns isolates the media share so bank queueing is
+            # the remainder.
             self.tracer.emit(self.sim.now, "nvm_persist",
                              node=self.trace_node,
                              dur=self.sim.now - start, address=address,
-                             outstanding=self.outstanding)
+                             outstanding=self.outstanding,
+                             service_ns=self.timing.write_ns)
         else:
             yield from self._access(address, self.timing.write_ns)

@@ -132,9 +132,10 @@ class Network:
         src_nic = self._nics[src]
         dst_nic = self._nics[dst]
         inject_start = self.sim.now
+        serialization_ns = src_nic.serialization_ns(size_bytes)
         yield src_nic.queue_pairs.acquire()
         try:
-            yield self.sim.timeout(src_nic.serialization_ns(size_bytes))
+            yield self.sim.timeout(serialization_ns)
         finally:
             src_nic.queue_pairs.release()
         src_nic.messages_sent += 1
@@ -142,10 +143,12 @@ class Network:
         self.total_messages += 1
         self.total_bytes += size_bytes
         if self.tracer.enabled:
-            # Span covers queue-pair wait + serialization onto the link.
+            # Span covers queue-pair wait + serialization onto the link;
+            # ser_ns isolates the bandwidth share so queue-pair wait is
+            # the remainder.
             self.tracer.emit(self.sim.now, "net_send", node=src,
                              dur=self.sim.now - inject_start, dst=dst,
-                             bytes=size_bytes)
+                             bytes=size_bytes, ser_ns=serialization_ns)
         one_way = (self.one_way_fn(src, dst) if self.one_way_fn is not None
                    else self.config.one_way_ns)
         yield self.sim.timeout(one_way)

@@ -14,10 +14,20 @@ VP/DP events) into artifacts a human or a tool can consume:
   windowed throughput/latency series and per-node VP/DP lag.
 * :mod:`repro.obs.fanout` — :class:`FanoutTracer` to feed one engine's
   emissions to several sinks (e.g. a Tracer and a PointsTracker).
+* :mod:`repro.obs.journey` — :class:`JourneyTracker`, a sink that
+  assembles one end-to-end :class:`UpdateJourney` per write for the
+  critical-path waterfalls of :mod:`repro.analysis.waterfall`.
 """
 
-from repro.obs.export import JsonlSink, chrome_trace_events, chrome_trace_payload, write_chrome_trace
+from repro.obs.export import (
+    JsonlSink,
+    chrome_trace_events,
+    chrome_trace_payload,
+    journey_chrome_events,
+    write_chrome_trace,
+)
 from repro.obs.fanout import FanoutTracer
+from repro.obs.journey import JourneyTracker, UpdateJourney
 from repro.obs.profile import KernelProfile
 from repro.obs.report import build_run_report, write_run_report
 
@@ -25,8 +35,11 @@ __all__ = [
     "JsonlSink",
     "chrome_trace_events",
     "chrome_trace_payload",
+    "journey_chrome_events",
     "write_chrome_trace",
     "FanoutTracer",
+    "JourneyTracker",
+    "UpdateJourney",
     "KernelProfile",
     "build_run_report",
     "write_run_report",

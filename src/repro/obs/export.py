@@ -25,8 +25,8 @@ from typing import IO, Any, Dict, Iterable, List, Optional, Union
 
 from repro.sim.trace import INSTANT, SPAN, TraceRecord
 
-__all__ = ["LANES", "chrome_trace_events", "chrome_trace_payload",
-           "write_chrome_trace", "JsonlSink"]
+__all__ = ["LANES", "chrome_trace_events", "journey_chrome_events",
+           "chrome_trace_payload", "write_chrome_trace", "JsonlSink"]
 
 CLUSTER_PID = 0
 """pid for records carrying no node id."""
@@ -42,6 +42,7 @@ LANES: Dict[str, Iterable[str]] = {
     "memory": ("dram_access", "llc_access"),
     "recovery": ("recovery_scan", "recovery_reconcile", "recovery_resolve",
                  "recovery_done"),
+    "journey": ("journey_vp", "journey_dp", "write_complete"),
 }
 
 _LANE_NAMES = list(LANES) + ["misc"]
@@ -94,6 +95,38 @@ def chrome_trace_events(records: Iterable[TraceRecord]) -> List[dict]:
     return events
 
 
+def journey_chrome_events(journeys: Iterable[Any],
+                          num_nodes: int) -> List[dict]:
+    """Journey lanes: one ``journey_vp`` / ``journey_dp`` span per
+    completed update, anchored at its coordinator's process, carrying
+    the critical-path bucket split in ``args``."""
+    from repro.analysis.waterfall import decompose
+
+    events: List[dict] = []
+    for journey in journeys:
+        breakdown = decompose(journey, num_nodes)
+        for name in ("journey_vp", "journey_dp"):
+            path = breakdown.vp if name == "journey_vp" else breakdown.dp
+            if path is None:
+                continue
+            events.append({
+                "name": name,
+                "cat": "journey",
+                "ph": SPAN,
+                "pid": journey.coordinator + 1,
+                "tid": _lane_of(name),
+                "ts": journey.client_issue_ns / 1000.0,
+                "dur": path.latency_ns / 1000.0,
+                "args": _jsonable({
+                    "key": journey.key,
+                    "version": list(journey.version),
+                    "via_node": path.node,
+                    "buckets_ns": path.buckets,
+                }),
+            })
+    return events
+
+
 def _metadata_events(records: Iterable[TraceRecord]) -> List[dict]:
     """process/thread naming so Perfetto shows node/lane labels."""
     pids = sorted({CLUSTER_PID if r.node is None else r.node + 1
@@ -111,15 +144,22 @@ def _metadata_events(records: Iterable[TraceRecord]) -> List[dict]:
 
 def chrome_trace_payload(records: Iterable[TraceRecord],
                          dropped: int = 0,
-                         meta: Optional[Dict[str, Any]] = None) -> dict:
-    """The full JSON document: metadata + events + run information."""
+                         meta: Optional[Dict[str, Any]] = None,
+                         extra_events: Optional[List[dict]] = None) -> dict:
+    """The full JSON document: metadata + events + run information.
+
+    ``extra_events`` are appended after the record events — e.g. the
+    journey lanes from :func:`journey_chrome_events`.
+    """
     records = list(records)
     other: Dict[str, Any] = {"record_count": len(records),
                              "dropped_records": dropped}
     if meta:
         other.update({str(k): _jsonable(v) for k, v in meta.items()})
     return {
-        "traceEvents": _metadata_events(records) + chrome_trace_events(records),
+        "traceEvents": (_metadata_events(records)
+                        + chrome_trace_events(records)
+                        + list(extra_events or [])),
         "displayTimeUnit": "ns",
         "otherData": other,
     }
@@ -127,9 +167,11 @@ def chrome_trace_payload(records: Iterable[TraceRecord],
 
 def write_chrome_trace(path: str, records: Iterable[TraceRecord],
                        dropped: int = 0,
-                       meta: Optional[Dict[str, Any]] = None) -> None:
+                       meta: Optional[Dict[str, Any]] = None,
+                       extra_events: Optional[List[dict]] = None) -> None:
     """Write a Perfetto-loadable trace file (deterministic bytes)."""
-    payload = chrome_trace_payload(records, dropped=dropped, meta=meta)
+    payload = chrome_trace_payload(records, dropped=dropped, meta=meta,
+                                   extra_events=extra_events)
     with open(path, "w") as fh:
         json.dump(payload, fh, sort_keys=True, separators=(",", ":"))
         fh.write("\n")

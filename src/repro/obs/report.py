@@ -9,7 +9,7 @@ Durability-Point lag series, and (optionally) the kernel profile.
 Schema (see DESIGN.md "Run-report JSON" for field-level docs)::
 
     {
-      "schema": "repro.run_report/1",
+      "schema": "repro.run_report/2",
       "meta":     {model, consistency, persistency, servers, clients,
                    seed, workload, duration_ns, warmup_ns, window_ns},
       "summary":  {...Summary fields...},
@@ -22,8 +22,13 @@ Schema (see DESIGN.md "Run-report JSON" for field-level docs)::
                                        dp_mean_ns, dp_p99_ns, ...}]},
                    "summary": {...PointsSummary fields...}},
       "profile":  {...KernelProfile.snapshot()...},
-      "trace":    {"records": n, "dropped": n, "categories": {...}}
+      "trace":    {"records": n, "dropped": n, "categories": {...}},
+      "journeys": {...repro.analysis.waterfall.waterfall_json(...)...}
     }
+
+Schema history: ``/1`` (PR 1) lacked the ``journeys`` section; ``/2``
+adds it (critical-path waterfall aggregates, see DESIGN.md "Journey
+waterfalls").  All ``/1`` fields are unchanged.
 
 NaN/inf values (empty windows, models that never persist) are emitted
 as ``null`` so the document is strict JSON.
@@ -40,7 +45,7 @@ from repro.analysis.metrics import Metrics, Summary
 
 __all__ = ["SCHEMA", "build_run_report", "write_run_report"]
 
-SCHEMA = "repro.run_report/1"
+SCHEMA = "repro.run_report/2"
 
 
 def _clean(value: Any) -> Any:
@@ -63,12 +68,14 @@ def build_run_report(summary: Summary, metrics: Metrics,
                      meta: Optional[Dict[str, Any]] = None,
                      points: Any = None,
                      profile: Any = None,
-                     tracer: Any = None) -> Dict[str, Any]:
+                     tracer: Any = None,
+                     journeys: Any = None) -> Dict[str, Any]:
     """Assemble the report dict from a finished run's collectors.
 
     ``points`` is a :class:`repro.analysis.points.PointsTracker` (or
     None), ``profile`` a :class:`repro.obs.profile.KernelProfile`,
-    ``tracer`` a :class:`repro.sim.trace.Tracer`; all optional so
+    ``tracer`` a :class:`repro.sim.trace.Tracer`, ``journeys`` a
+    :class:`repro.analysis.waterfall.WaterfallReport`; all optional so
     callers include only what they measured.
     """
     report: Dict[str, Any] = {
@@ -96,6 +103,9 @@ def build_run_report(summary: Summary, metrics: Metrics,
             "dropped": tracer.dropped,
             "categories": tracer.categories(),
         })
+    if journeys is not None:
+        from repro.analysis.waterfall import waterfall_json
+        report["journeys"] = _clean(waterfall_json(journeys))
     return report
 
 

@@ -62,8 +62,14 @@ class LeaderProtocolNode(ProtocolNode):
         forward_start = self.sim.now
         self.metrics.record_message("FWD", _FORWARD_BYTES,
                                     time_ns=self.sim.now)
-        yield self.sim.timeout(
-            self.nic.serialization_ns(_FORWARD_BYTES) + self._one_way_ns())
+        forward_net = (self.nic.serialization_ns(_FORWARD_BYTES)
+                       + self._one_way_ns())
+        yield self.sim.timeout(forward_net)
+        if self.tracer.enabled:
+            # Hand the leader the forwarding provenance so its journey
+            # record starts at the origin node's client issue.
+            ctx.forward_start_ns = forward_start
+            ctx.forward_net_ns = forward_net
         # The leader coordinates the write with its own worker capacity;
         # the client's session context travels with the request.
         yield leader.request_workers.acquire()

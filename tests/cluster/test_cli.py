@@ -89,7 +89,7 @@ class TestCommands:
         assert trace["otherData"]["record_count"] > 0
 
         report = json.loads(report_path.read_text())
-        assert report["schema"] == "repro.run_report/1"
+        assert report["schema"] == "repro.run_report/2"
         assert report["meta"]["window_ns"] == 5000.0
         assert report["windows"], "windowed throughput series missing"
         assert all("p50_ns" in w and "p99_ns" in w

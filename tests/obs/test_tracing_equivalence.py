@@ -17,7 +17,8 @@ from repro.analysis.points import PointsTracker
 from repro.cluster.cluster import Cluster
 from repro.cluster.config import ClusterConfig
 from repro.core.model import Consistency, DdpModel, Persistency
-from repro.obs import FanoutTracer, KernelProfile, write_chrome_trace
+from repro.obs import (FanoutTracer, JourneyTracker, KernelProfile,
+                       write_chrome_trace)
 from repro.sim.trace import Tracer
 from repro.workload.ycsb import WORKLOADS
 
@@ -49,6 +50,21 @@ class TestTracingDoesNotPerturb:
         tracer = FanoutTracer([Tracer(), PointsTracker(3)])
         cluster_on, summary_on, stores_on = _run(model, tracer=tracer)
         assert len(tracer) > 0, "tracer saw nothing; wiring is broken"
+        assert dataclasses.asdict(summary_off) == \
+            pytest.approx(dataclasses.asdict(summary_on), nan_ok=True)
+        assert stores_off == stores_on
+        assert cluster_off.sim.now == cluster_on.sim.now
+
+    @pytest.mark.parametrize("model", MODELS, ids=str)
+    def test_journey_tracking_does_not_perturb(self, model):
+        """A JourneyTracker attached (alone or fanned out with the other
+        sinks) reproduces the untracked run exactly — journey tracking
+        off is the seed behavior, on is purely observational."""
+        cluster_off, summary_off, stores_off = _run(model)
+        journeys = JourneyTracker(3)
+        tracer = FanoutTracer([Tracer(), PointsTracker(3), journeys])
+        cluster_on, summary_on, stores_on = _run(model, tracer=tracer)
+        assert journeys.journeys, "journey tracker saw no writes"
         assert dataclasses.asdict(summary_off) == \
             pytest.approx(dataclasses.asdict(summary_on), nan_ok=True)
         assert stores_off == stores_on
