@@ -65,7 +65,7 @@ class LatencyHistogram:
         self._min = min(self._min, value)
         self._max = max(self._max, value)
 
-    def merge(self, other: "LatencyHistogram") -> None:
+    def merge(self, other: LatencyHistogram) -> None:
         """Fold another histogram (same precision) into this one."""
         if other.precision != self.precision:
             raise ValueError("precision mismatch")

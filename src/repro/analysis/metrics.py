@@ -200,7 +200,7 @@ class Metrics:
     def total_bytes(self) -> int:
         return sum(self.bytes_by_type.values())
 
-    def summarize(self, duration_ns: float) -> "Summary":
+    def summarize(self, duration_ns: float) -> Summary:
         """Aggregate into the per-figure quantities.
 
         Only operations that *completed after warmup* count, mirroring
@@ -266,7 +266,7 @@ class Summary:
         read_count = max(self.requests, 1)
         return self.reads_blocked_by_unpersisted / read_count
 
-    def normalized_to(self, baseline: "Summary") -> Dict[str, float]:
+    def normalized_to(self, baseline: Summary) -> Dict[str, float]:
         """Ratios against a baseline run (the paper normalizes all plots
         to <Linearizable, Synchronous>)."""
         def ratio(mine: float, theirs: float) -> float:

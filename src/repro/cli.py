@@ -17,6 +17,9 @@ Subcommands:
 * ``tradeoffs`` — print the derived Table 4 (or the full 25-model grid).
 * ``recover`` — run a workload, crash the cluster, simulate recovery,
   and report what survived.
+* ``lint`` — run the project's own static analysis (reprolint):
+  determinism, tracer-guard, and protocol-dispatch invariants.  Exit
+  codes: 0 clean, 1 findings, 2 usage error.
 
 Examples::
 
@@ -28,6 +31,7 @@ Examples::
     python -m repro.cli sweep --workload B --duration-us 150
     python -m repro.cli tradeoffs --all
     python -m repro.cli recover --persistency eventual --strategy majority
+    python -m repro.cli lint src tests benchmarks --json
 """
 
 from __future__ import annotations
@@ -44,6 +48,7 @@ from repro.cluster.cluster import Cluster, run_simulation
 from repro.cluster.config import ClusterConfig
 from repro.core.model import Consistency, DdpModel, Persistency, all_ddp_models
 from repro.core.tradeoffs import analyze_all
+from repro.devtools.cli import add_lint_parser, cmd_lint
 from repro.obs import (
     FanoutTracer,
     JourneyTracker,
@@ -135,7 +140,8 @@ class _Observability:
                 try:
                     open(path, "w").close()
                 except OSError as exc:
-                    raise SystemExit(f"repro: cannot write {path}: {exc}")
+                    raise SystemExit(
+                        f"repro: cannot write {path}: {exc}") from exc
         self.window_ns = args.metrics_window_us * 1000.0
         self.tracer = (Tracer(max_records=args.trace_limit,
                               ring=args.trace_ring)
@@ -288,6 +294,8 @@ def build_parser() -> argparse.ArgumentParser:
     recover_parser.add_argument("--strategy", default="latest",
                                 choices=["latest", "majority"])
     _add_common(recover_parser)
+
+    add_lint_parser(subparsers)
     return parser
 
 
@@ -463,6 +471,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "tradeoffs": _cmd_tradeoffs,
     "recover": _cmd_recover,
+    "lint": cmd_lint,
 }
 
 

@@ -39,7 +39,7 @@ class ClusterConfig:
     def total_clients(self) -> int:
         return self.servers * self.clients_per_server
 
-    def with_overrides(self, **changes) -> "ClusterConfig":
+    def with_overrides(self, **changes) -> ClusterConfig:
         """A copy with some fields replaced (sensitivity sweeps)."""
         import dataclasses
         return dataclasses.replace(self, **changes)

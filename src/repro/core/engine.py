@@ -125,6 +125,25 @@ class _RoundOp:
 class ProtocolNode:
     """One server's protocol engine (coordinator + follower roles)."""
 
+    #: Message dispatch, declared at class level (``MsgType`` -> handler
+    #: method name) so subclasses extend it declaratively and so
+    #: ``repro lint``'s dispatch-completeness rule can import the class
+    #: and verify every member is handled without running a simulation.
+    #: ``__init__`` binds it once per instance into ``self._handlers``.
+    _DISPATCH: Dict[MsgType, str] = {
+        MsgType.INV: "_on_inv",
+        MsgType.UPD: "_on_upd",
+        MsgType.ACK: "_on_ack_c",
+        MsgType.ACK_C: "_on_ack_c",
+        MsgType.ACK_P: "_on_ack_p",
+        MsgType.VAL: "_on_val",
+        MsgType.VAL_C: "_on_val",
+        MsgType.VAL_P: "_on_val_p",
+        MsgType.INITX: "_on_initx",
+        MsgType.ENDX: "_on_endx",
+        MsgType.PERSIST: "_on_persist",
+    }
+
     def __init__(self, sim: Simulator, node_id: int, peer_ids: List[int],
                  network: Network, nic: Nic, memory: MemoryHierarchy,
                  model: DdpModel, metrics: Metrics,
@@ -167,6 +186,10 @@ class ProtocolNode:
         self._txn_invs: Dict[int, List[Tuple[int, int]]] = {}
         self._alive = True
         self._dispatcher = None
+        # Bound once here instead of building a dict literal per
+        # inbound message in _handle_message.
+        self._handlers = {msg_type: getattr(self, name)
+                          for msg_type, name in self._DISPATCH.items()}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -204,6 +227,7 @@ class ProtocolNode:
     def _replica_event(self, kind: str, key: int, version: Version) -> None:
         """Forward replica apply/persist advances to the tracer (used by
         the Visibility/Durability Point measurement)."""
+        # repro: lint-ok[tracer-guard] only registered as the ReplicaTable observer when tracer.enabled
         self.tracer.emit(self.sim.now, kind, node=self.node_id,
                          key=key, version=version)
 
@@ -937,20 +961,7 @@ class ProtocolNode:
                              version=message.version)
             handle_start = self.sim.now
         yield from self._charge_protocol_cpu()
-        handler = {
-            MsgType.INV: self._on_inv,
-            MsgType.UPD: self._on_upd,
-            MsgType.ACK: self._on_ack_c,
-            MsgType.ACK_C: self._on_ack_c,
-            MsgType.ACK_P: self._on_ack_p,
-            MsgType.VAL: self._on_val,
-            MsgType.VAL_C: self._on_val,
-            MsgType.VAL_P: self._on_val_p,
-            MsgType.INITX: self._on_initx,
-            MsgType.ENDX: self._on_endx,
-            MsgType.PERSIST: self._on_persist,
-        }[message.msg_type]
-        yield from handler(message)
+        yield from self._handlers[message.msg_type](message)
         if tracing:
             self.tracer.emit(self.sim.now, "msg_handle", node=self.node_id,
                              dur=self.sim.now - handle_start,

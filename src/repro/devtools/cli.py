@@ -1,0 +1,60 @@
+"""``repro lint`` — the CLI face of reprolint.
+
+Exit codes: 0 clean (waived findings allowed), 1 unwaived findings,
+2 usage error (unknown rule id, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.devtools.engine import UsageError, format_text, run_lint, to_json
+from repro.devtools.registry import all_rules
+
+__all__ = ["add_lint_parser", "cmd_lint"]
+
+
+def add_lint_parser(subparsers) -> argparse.ArgumentParser:
+    parser = subparsers.add_parser(
+        "lint",
+        help="run the project lint rules (reprolint)",
+        description="AST-based project lint: determinism, tracer "
+                    "guards, protocol-dispatch completeness. Waive a "
+                    "finding inline with "
+                    "`# repro: lint-ok[rule-id] reason`.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories (default: src)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the repro.lint_report/1 JSON document")
+    parser.add_argument("--rules", default=None, metavar="ID[,ID...]",
+                        help="run only these rule ids")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--show-waived", action="store_true",
+                        help="include waived findings in text output")
+    return parser
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.id:24s} {rule.summary}")
+        print(f"{'':24s}   guards: {rule.guards}")
+    return 0
+
+
+def cmd_lint(args) -> int:
+    if args.list_rules:
+        return _list_rules()
+    rule_ids = ([r.strip() for r in args.rules.split(",") if r.strip()]
+                if args.rules else None)
+    try:
+        result = run_lint(args.paths, rule_ids=rule_ids)
+    except UsageError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(to_json(result))
+    else:
+        print(format_text(result, show_waived=args.show_waived))
+    return result.exit_code

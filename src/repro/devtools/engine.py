@@ -1,0 +1,278 @@
+"""The lint engine: file collection, rule running, waivers, reports.
+
+The engine parses each file once, hands the tree to every in-scope file
+rule, then runs project rules over the whole file set, and finally
+applies inline waivers.  Three checks are built into the engine itself
+rather than the rule registry proper (they police the lint mechanism,
+not the code):
+
+* ``parse-error`` — a linted file does not parse;
+* ``waiver-syntax`` — a ``lint-ok`` comment without a justification or
+  naming an unknown rule id;
+* ``unused-waiver`` — a waiver that matched no finding (stale waivers
+  are how a lint layer rots).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, all_rules
+from repro.devtools.waivers import Waivers, parse_waivers
+
+__all__ = [
+    "FileContext",
+    "LintResult",
+    "UsageError",
+    "SKIP_DIRS",
+    "format_text",
+    "iter_python_files",
+    "lint_sources",
+    "run_lint",
+    "to_json",
+]
+
+#: Directory names never descended into when a directory is linted.
+#: ``lint_fixtures`` holds deliberately-bad rule fixtures; explicit file
+#: arguments are always linted, so tests can still target them.
+SKIP_DIRS = frozenset({"__pycache__", ".git", "results", "lint_fixtures",
+                       ".venv", "node_modules"})
+
+ENGINE_RULES = ("parse-error", "waiver-syntax", "unused-waiver")
+
+
+class UsageError(Exception):
+    """Bad invocation (missing path, unknown rule) — CLI exit code 2."""
+
+
+@dataclass
+class FileContext:
+    """One file as the rules see it."""
+
+    path: str
+    """Display path (repo-relative posix when possible)."""
+    source: str
+    abspath: str = ""
+    tree: Optional[ast.AST] = None
+    parse_error: Optional[str] = None
+    waivers: Waivers = field(default_factory=lambda: parse_waivers(""))
+
+    @classmethod
+    def from_source(cls, path: str, source: str) -> FileContext:
+        ctx = cls(path=path.replace(os.sep, "/"), source=source,
+                  abspath=os.path.abspath(path))
+        try:
+            ctx.tree = ast.parse(source)
+        except SyntaxError as exc:
+            ctx.parse_error = (f"line {exc.lineno}: {exc.msg}"
+                               if exc.lineno else str(exc))
+        ctx.waivers = parse_waivers(source)
+        return ctx
+
+    @classmethod
+    def from_file(cls, path: str) -> FileContext:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        display = os.path.relpath(path).replace(os.sep, "/")
+        if display.startswith("../"):
+            display = path.replace(os.sep, "/")
+        ctx = cls.from_source(display, source)
+        ctx.abspath = os.path.abspath(path)
+        return ctx
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding]
+    files: int
+    rules: List[str]
+    paths: List[str]
+
+    @property
+    def unwaived(self) -> List[Finding]:
+        return [f for f in self.findings if not f.waived]
+
+    @property
+    def waived(self) -> List[Finding]:
+        return [f for f in self.findings if f.waived]
+
+    @property
+    def clean(self) -> bool:
+        return not self.unwaived
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand path arguments to the ordered list of ``.py`` files.
+
+    Explicit file arguments are taken as-is (even inside skip dirs);
+    directories are walked recursively in sorted order, pruning
+    :data:`SKIP_DIRS` and hidden directories.
+    """
+    files: List[str] = []
+    seen = set()
+
+    def add(path: str) -> None:
+        key = os.path.abspath(path)
+        if key not in seen:
+            seen.add(key)
+            files.append(path)
+
+    for path in paths:
+        if os.path.isfile(path):
+            add(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in SKIP_DIRS and not d.startswith("."))
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        add(os.path.join(dirpath, name))
+        else:
+            raise UsageError(f"no such file or directory: {path}")
+    return files
+
+
+def _select_rules(rule_ids: Optional[Sequence[str]]) -> List[Rule]:
+    rules = all_rules()
+    if rule_ids is None:
+        return rules
+    known = {rule.id for rule in rules}
+    unknown = [r for r in rule_ids if r not in known]
+    if unknown:
+        raise UsageError(
+            f"unknown rule id(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})")
+    wanted = set(rule_ids)
+    return [rule for rule in rules if rule.id in wanted]
+
+
+def _engine_findings(ctx: FileContext, known_ids: Iterable[str],
+                     full_run: bool) -> List[Finding]:
+    findings: List[Finding] = []
+    known = set(known_ids)
+    if ctx.parse_error is not None:
+        findings.append(Finding("parse-error", ctx.path, 1, 0,
+                                f"file does not parse: {ctx.parse_error}"))
+    if not full_run:
+        # With a rule subset, waivers for unselected rules would look
+        # unused; waiver validation only makes sense on full runs.
+        return findings
+    for waiver in ctx.waivers:
+        if not waiver.well_formed:
+            findings.append(Finding(
+                "waiver-syntax", ctx.path, waiver.line, 0,
+                "waiver needs rule id(s) and a one-line justification: "
+                "# repro: lint-ok[rule-id] reason"))
+            continue
+        bogus = [r for r in waiver.rule_ids if r not in known]
+        if bogus:
+            findings.append(Finding(
+                "waiver-syntax", ctx.path, waiver.line, 0,
+                f"waiver names unknown rule id(s): {', '.join(bogus)}"))
+        elif not waiver.used:
+            findings.append(Finding(
+                "unused-waiver", ctx.path, waiver.line, 0,
+                f"waiver for [{', '.join(waiver.rule_ids)}] matched no "
+                f"finding — remove it (or the rule it was written for "
+                f"has moved)"))
+    return findings
+
+
+def _run(contexts: List[FileContext],
+         rule_ids: Optional[Sequence[str]] = None,
+         paths: Sequence[str] = ()) -> LintResult:
+    rules = _select_rules(rule_ids)
+    file_rules = [r for r in rules if r.kind == "file"]
+    project_rules = [r for r in rules if r.kind == "project"]
+    known_ids = [r.id for r in all_rules()] + list(ENGINE_RULES)
+
+    findings: List[Finding] = []
+    for ctx in contexts:
+        if ctx.tree is None:
+            continue
+        for rule in file_rules:
+            if rule.scope(ctx.path):
+                findings.extend(rule.check(ctx))
+    for rule in project_rules:
+        in_scope = [ctx for ctx in contexts if rule.scope(ctx.path)]
+        if in_scope:
+            findings.extend(rule.check(in_scope))
+
+    # Waivers first, engine checks second: unused-waiver must see which
+    # waivers real findings consumed.
+    waived: List[Finding] = []
+    by_path = {ctx.path: ctx for ctx in contexts}
+    for finding in findings:
+        ctx = by_path.get(finding.path)
+        waiver = (ctx.waivers.lookup(finding.rule, finding.line)
+                  if ctx is not None else None)
+        waived.append(finding if waiver is None
+                      else finding.waive(waiver.reason))
+    for ctx in contexts:
+        waived.extend(_engine_findings(ctx, known_ids,
+                                       full_run=rule_ids is None))
+    waived.sort(key=lambda f: f.sort_key)
+    return LintResult(waived, files=len(contexts),
+                      rules=[r.id for r in rules], paths=list(paths))
+
+
+def run_lint(paths: Sequence[str],
+             rule_ids: Optional[Sequence[str]] = None) -> LintResult:
+    """Lint files/directories on disk."""
+    contexts = [FileContext.from_file(p) for p in iter_python_files(paths)]
+    return _run(contexts, rule_ids, paths=paths)
+
+
+def lint_sources(sources: Sequence[Tuple[str, str]],
+                 rule_ids: Optional[Sequence[str]] = None) -> LintResult:
+    """Lint in-memory ``(virtual_path, source)`` pairs.
+
+    The virtual path drives rule scoping, so tests can lint a fixture
+    as if it lived at ``src/repro/...``.
+    """
+    contexts = [FileContext.from_source(path, source)
+                for path, source in sources]
+    return _run(contexts, rule_ids, paths=[p for p, _ in sources])
+
+
+def format_text(result: LintResult, show_waived: bool = False) -> str:
+    shown = result.findings if show_waived else result.unwaived
+    lines = [f.format() for f in shown]
+    bad, ok = len(result.unwaived), len(result.waived)
+    if bad or ok:
+        lines.append(f"{bad} finding(s), {ok} waived, "
+                     f"{result.files} file(s) checked")
+    else:
+        lines.append(f"clean: {result.files} file(s), "
+                     f"{len(result.rules)} rule(s)")
+    return "\n".join(lines)
+
+
+def to_json(result: LintResult) -> str:
+    counts: Dict[str, int] = {}
+    for finding in result.unwaived:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    doc = {
+        "schema": "repro.lint_report/1",
+        "paths": list(result.paths),
+        "files": result.files,
+        "rules": list(result.rules),
+        "findings": [f.to_dict() for f in result.findings],
+        "counts": dict(sorted(counts.items())),
+        "total": len(result.unwaived),
+        "waived": len(result.waived),
+        "clean": result.clean,
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)

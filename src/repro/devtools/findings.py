@@ -1,0 +1,56 @@
+"""Lint findings.
+
+A :class:`Finding` pins one rule violation to a file location.  The
+engine marks findings waived when an inline waiver comment covers them;
+waived findings still appear in reports (so waivers stay visible) but
+do not fail the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at ``path:line:col``."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    waived: bool = False
+    waive_reason: str = ""
+    extra: Dict[str, Any] = field(default_factory=dict)
+    """Rule-specific detail (e.g. the missing MsgType members)."""
+
+    @property
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+    def waive(self, reason: str) -> Finding:
+        return replace(self, waived=True, waive_reason=reason)
+
+    def format(self) -> str:
+        tag = f"  [waived: {self.waive_reason}]" if self.waived else ""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule}: {self.message}{tag}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "waived": self.waived,
+        }
+        if self.waived:
+            doc["waive_reason"] = self.waive_reason
+        if self.extra:
+            doc["extra"] = self.extra
+        return doc

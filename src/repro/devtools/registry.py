@@ -1,0 +1,102 @@
+"""Rule registry.
+
+Rules self-register at import time via the :func:`file_rule` /
+:func:`project_rule` decorators; :func:`load_rules` imports the rule
+package so registration happens exactly once, lazily.
+
+Two rule kinds:
+
+* **file rules** check one parsed file at a time
+  (``check(ctx) -> Iterable[Finding]``);
+* **project rules** see the whole file set at once
+  (``check(contexts) -> Iterable[Finding]``) — used for cross-file
+  invariants like dispatch completeness, which must *import* the code
+  under inspection rather than parse it.
+
+A rule's ``scope`` predicate (repo-relative posix path -> bool) limits
+where it applies; the default is everywhere linted.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "Rule",
+    "all_rules",
+    "everywhere",
+    "file_rule",
+    "get_rule",
+    "in_src",
+    "load_rules",
+    "project_rule",
+]
+
+_RULES: Dict[str, Rule] = {}
+_LOADED = False
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    id: str
+    summary: str
+    guards: str
+    """The invariant (or past bug) the rule protects — shown in
+    ``--list-rules`` and the DESIGN rule catalog."""
+    kind: str  # "file" | "project"
+    scope: Callable[[str], bool]
+    check: Callable
+
+
+def everywhere(path: str) -> bool:
+    return True
+
+
+def in_src(path: str) -> bool:
+    """Inside the ``repro`` package source tree."""
+    return "src/repro/" in path or path.startswith("repro/")
+
+
+def _register(rule: Rule) -> Rule:
+    if rule.id in _RULES:
+        raise ValueError(f"duplicate rule id: {rule.id}")
+    _RULES[rule.id] = rule
+    return rule
+
+
+def file_rule(rule_id: str, summary: str, guards: str,
+              scope: Callable[[str], bool] = everywhere):
+    def decorate(func):
+        _register(Rule(rule_id, summary, guards, "file", scope, func))
+        return func
+    return decorate
+
+
+def project_rule(rule_id: str, summary: str, guards: str,
+                 scope: Callable[[str], bool] = everywhere):
+    def decorate(func):
+        _register(Rule(rule_id, summary, guards, "project", scope, func))
+        return func
+    return decorate
+
+
+def load_rules() -> None:
+    """Import the rule package (idempotent)."""
+    global _LOADED
+    if not _LOADED:
+        importlib.import_module("repro.devtools.rules")
+        _LOADED = True
+
+
+def all_rules() -> List[Rule]:
+    load_rules()
+    return sorted(_RULES.values(), key=lambda r: r.id)
+
+
+def get_rule(rule_id: str) -> Optional[Rule]:
+    load_rules()
+    return _RULES.get(rule_id)

@@ -1,0 +1,96 @@
+"""dispatch-completeness: every MsgType has a handler in every engine.
+
+Table 3's protocols only work if every message kind that can arrive is
+handled — a missing entry is a silent drop that shifts benchmark
+numbers without failing a test until some model exercises the path.
+The engines declare their dispatch as a class-level ``_DISPATCH``
+mapping (``MsgType -> handler method name``) exactly so this rule can
+*import* each engine class and inspect coverage without running a
+simulation, subclass overrides included via the MRO.
+
+This is a project rule: it fires once per lint run, anchored at the
+engine's class definition, and is waivable there like any finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+from typing import Iterator, List, Optional, Tuple
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import in_src, project_rule
+from repro.devtools.rules.util import location
+
+RULE_ID = "dispatch-completeness"
+
+#: (module, class, path suffix) for every engine with a dispatch path.
+ENGINE_SPECS: Tuple[Tuple[str, str, str], ...] = (
+    ("repro.core.engine", "ProtocolNode", "repro/core/engine.py"),
+    ("repro.hybrid.engine", "HybridProtocolNode", "repro/hybrid/engine.py"),
+    ("repro.variants.leader", "LeaderProtocolNode",
+     "repro/variants/leader.py"),
+)
+
+
+def inspect_engine(module_name: str, class_name: str,
+                   enum=None) -> List[str]:
+    """Import ``module_name.class_name`` and report dispatch problems.
+
+    Returns human-readable problem strings (empty = complete).  The
+    ``enum`` parameter exists for fixture tests; it defaults to the
+    real :class:`~repro.core.messages.MsgType`.
+    """
+    if enum is None:
+        from repro.core.messages import MsgType
+        enum = MsgType
+    try:
+        cls = getattr(importlib.import_module(module_name), class_name)
+    except Exception as exc:
+        return [f"cannot import {module_name}.{class_name}: {exc}"]
+    table = getattr(cls, "_DISPATCH", None)
+    if table is None:
+        return [f"{class_name} has no _DISPATCH table to inspect "
+                f"(declare MsgType -> handler-name at class level)"]
+    problems = []
+    missing = [member.name for member in enum if member not in table]
+    if missing:
+        problems.append(
+            f"{class_name}._DISPATCH does not handle "
+            f"{enum.__name__} member(s): {', '.join(missing)}")
+    for member, handler_name in table.items():
+        if not callable(getattr(cls, handler_name, None)):
+            problems.append(
+                f"{class_name}._DISPATCH maps {member.name} to "
+                f"{handler_name!r}, which is not a method of the class")
+    return problems
+
+
+def _class_def_line(tree: Optional[ast.AST],
+                    class_name: str) -> Tuple[int, int]:
+    if tree is not None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name == class_name:
+                return location(node)
+    return 1, 0
+
+
+@project_rule(
+    RULE_ID,
+    summary="a MsgType member lacks a handler in an engine's _DISPATCH",
+    guards="complete protocol dispatch (Table 3; Hermes-style broadcast "
+           "assumes no silent message drops)",
+    scope=in_src)
+def check(contexts) -> Iterator[Finding]:
+    for module_name, class_name, suffix in ENGINE_SPECS:
+        ctx = next((c for c in contexts if c.path.endswith(suffix)), None)
+        if ctx is None:
+            continue
+        problems = inspect_engine(module_name, class_name)
+        if not problems:
+            continue
+        line, col = _class_def_line(ctx.tree, class_name)
+        for problem in problems:
+            yield Finding(RULE_ID, ctx.path, line, col, problem,
+                          extra={"module": module_name,
+                                 "class": class_name})

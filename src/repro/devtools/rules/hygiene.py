@@ -1,0 +1,80 @@
+"""mutable-default / bare-except hygiene, scoped to src/repro.
+
+* **mutable-default** — a ``def f(x=[])`` default is created once and
+  shared across calls *and across simulated nodes*: state bleeding
+  between replicas through a default argument is a protocol bug that
+  looks like a consistency violation.  Use ``None`` + construct inside.
+
+* **bare-except** — ``except:`` swallows ``KeyboardInterrupt`` /
+  ``SystemExit`` and, worse here, the simulator kernel's internal
+  control-flow exceptions, turning a crashed process into silent wrong
+  numbers.  Catch a concrete exception type.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import file_rule, in_src
+from repro.devtools.rules.util import code, location
+
+MUTABLE_RULE = "mutable-default"
+EXCEPT_RULE = "bare-except"
+
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "defaultdict", "deque", "Counter",
+    "OrderedDict", "bytearray",
+})
+
+
+def _is_mutable(default: ast.AST) -> bool:
+    if isinstance(default, (ast.List, ast.Dict, ast.Set,
+                            ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(default, ast.Call):
+        func = default.func
+        name = (func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else "")
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@file_rule(
+    MUTABLE_RULE,
+    summary="mutable default argument shared across calls",
+    guards="no state bleeding between simulated nodes via defaults",
+    scope=in_src)
+def check_mutable_default(ctx) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            if _is_mutable(default):
+                line, col = location(default)
+                yield Finding(
+                    MUTABLE_RULE, ctx.path, line, col,
+                    f"mutable default `{code(default)}` is shared "
+                    f"across calls; default to None and construct "
+                    f"inside the function")
+
+
+@file_rule(
+    EXCEPT_RULE,
+    summary="bare `except:` swallows kernel control flow",
+    guards="simulator-kernel exceptions surface instead of becoming "
+           "silent wrong numbers",
+    scope=in_src)
+def check_bare_except(ctx) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            line, col = location(node)
+            yield Finding(
+                EXCEPT_RULE, ctx.path, line, col,
+                "bare `except:` catches SystemExit/KeyboardInterrupt "
+                "and kernel control-flow exceptions; name the "
+                "exception type")

@@ -1,0 +1,113 @@
+"""unordered-iteration: no protocol effects from set iteration order.
+
+Hermes-style broadcast rounds (Katsarakis et al.) and the durable-
+linearizability obligations both assume a *stable* message order; the
+simulator only replays byte-identical traces if every send/schedule
+sequence is deterministic.  Iterating a ``set`` (or ``dict.keys()``,
+which reads as "order doesn't matter" even though CPython preserves
+insertion order) while sending messages or scheduling events ties
+protocol behaviour to hash/insertion history.  Wrap the iterable in
+``sorted(...)`` — or iterate a list — when the body has effects.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import file_rule, in_src
+from repro.devtools.rules.util import build_parents, code, iter_ancestors, location
+
+RULE_ID = "unordered-iteration"
+
+#: Calls in a loop body that make iteration order observable: message
+#: sends, event scheduling, and trace emission (trace files are
+#: byte-compared in tests).
+_EFFECT_ATTRS = frozenset({
+    "_broadcast", "_send", "send", "broadcast",
+    "schedule", "process", "timeout",
+    "emit", "span",
+})
+
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _SET_CONSTRUCTORS)
+
+
+def _set_attrs(cls: ast.ClassDef) -> frozenset:
+    """Attributes assigned ``set(...)``/set literals anywhere in the
+    class — cheap type inference for ``for x in self.peers`` loops."""
+    attrs = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    attrs.add(target.attr)
+    return frozenset(attrs)
+
+
+def _is_unordered(iterable: ast.AST, set_attrs: frozenset) -> bool:
+    if _is_set_expr(iterable):
+        return True
+    if isinstance(iterable, ast.Call):
+        func = iterable.func
+        if isinstance(func, ast.Attribute) and func.attr == "keys":
+            return True
+    if isinstance(iterable, (ast.Name, ast.Attribute)):
+        name = (iterable.id if isinstance(iterable, ast.Name)
+                else iterable.attr)
+        if name.endswith(("_set", "_sets")):
+            return True
+        return (isinstance(iterable, ast.Attribute)
+                and isinstance(iterable.value, ast.Name)
+                and iterable.value.id == "self"
+                and name in set_attrs)
+    return False
+
+
+def _has_effects(body: List[ast.stmt]) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _EFFECT_ATTRS):
+                return True
+    return False
+
+
+@file_rule(
+    RULE_ID,
+    summary="sends/schedules from set or dict.keys() iteration order",
+    guards="deterministic message order (Hermes-style broadcast; "
+           "byte-identical trace tests)",
+    scope=in_src)
+def check(ctx) -> Iterator[Finding]:
+    parents = build_parents(ctx.tree)
+    attrs_by_class = {}
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.For, ast.AsyncFor)):
+            continue
+        cls = next((a for a in iter_ancestors(node, parents)
+                    if isinstance(a, ast.ClassDef)), None)
+        if cls is not None and cls not in attrs_by_class:
+            attrs_by_class[cls] = _set_attrs(cls)
+        set_attrs = attrs_by_class.get(cls, frozenset())
+        if not _is_unordered(node.iter, set_attrs):
+            continue
+        if not _has_effects(node.body):
+            continue
+        line, col = location(node)
+        yield Finding(
+            RULE_ID, ctx.path, line, col,
+            f"loop over `{code(node.iter)}` sends messages or schedules "
+            f"events; iteration order is a nondeterminism hazard — "
+            f"iterate `sorted({code(node.iter)})` instead")

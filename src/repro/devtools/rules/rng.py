@@ -1,0 +1,71 @@
+"""rng-discipline: all randomness flows through ``SeededStream``.
+
+Same-seed runs must be byte-identical (DESIGN §6; the fig6/ablation
+benchmark archives depend on it).  ``random`` module state, OS entropy
+(``os.urandom``), UUIDs, and ``secrets`` all inject nondeterminism that
+no seed controls.  Only :mod:`repro.sim.rng` may touch :mod:`random` —
+every other component forks a named :class:`SeededStream` so adding a
+consumer does not shift the draws of existing ones.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import file_rule
+from repro.devtools.rules.util import dotted_name, location
+
+RULE_ID = "rng-discipline"
+
+_BANNED_MODULES = {
+    "random": "seeded or not, module-level random state is shared and "
+              "order-sensitive",
+    "secrets": "OS entropy is unseedable",
+    "uuid": "uuid1/uuid4 draw OS entropy",
+}
+_BANNED_CALLS = {
+    "os.urandom": "OS entropy is unseedable",
+    "os.getrandom": "OS entropy is unseedable",
+}
+
+
+def _allowed(path: str) -> bool:
+    # sim/rng.py *is* the seam: the one place random.Random may appear.
+    return path.endswith("sim/rng.py")
+
+
+@file_rule(
+    RULE_ID,
+    summary="randomness outside sim/rng.py (use a SeededStream fork)",
+    guards="byte-identical same-seed runs (DESIGN §6; PR-1 fork() bug "
+           "class)")
+def check(ctx) -> Iterator[Finding]:
+    if _allowed(ctx.path):
+        return
+    for node in ast.walk(ctx.tree):
+        line, col = location(node)
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _BANNED_MODULES:
+                    yield Finding(
+                        RULE_ID, ctx.path, line, col,
+                        f"import {alias.name}: {_BANNED_MODULES[root]}; "
+                        f"draw from a SeededStream fork instead")
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if root in _BANNED_MODULES:
+                yield Finding(
+                    RULE_ID, ctx.path, line, col,
+                    f"from {node.module} import ...: "
+                    f"{_BANNED_MODULES[root]}; draw from a SeededStream "
+                    f"fork instead")
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in _BANNED_CALLS:
+                yield Finding(
+                    RULE_ID, ctx.path, line, col,
+                    f"{name}(): {_BANNED_CALLS[name]}; draw from a "
+                    f"SeededStream fork instead")

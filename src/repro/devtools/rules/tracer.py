@@ -1,0 +1,145 @@
+"""tracer-guard / tracer-truthiness: tracing must stay free when off.
+
+Two invariants from the observability PRs:
+
+* **tracer-guard** — ``tracer.emit(...)`` / ``tracer.span(...)`` on a
+  hot path must sit under a ``tracer.enabled`` check, otherwise every
+  simulated message pays argument-marshalling cost even with tracing
+  off (the equivalence tests in ``tests/obs`` only hold because the
+  guarded sites compile to one attribute load).  Recognised guards:
+  an enclosing ``if`` whose test mentions ``.enabled`` (directly or
+  via a local like ``tracing = self.tracer.enabled``), or an
+  early-return ``if ... not ... enabled: return`` above the call.
+
+* **tracer-truthiness** — tracer null-checks must use ``is not None``.
+  A :class:`~repro.sim.trace.Tracer` defines ``__len__``, so an *empty*
+  tracer is falsy: ``tracer or NullTracer()`` silently replaced a real
+  tracer with a null one until PR 1 fixed three such sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import file_rule, in_src
+from repro.devtools.rules.util import (
+    build_parents,
+    code,
+    enclosing_function,
+    iter_ancestors,
+    location,
+)
+
+GUARD_RULE = "tracer-guard"
+TRUTHY_RULE = "tracer-truthiness"
+
+_EMIT_METHODS = frozenset({"emit", "span", "instant"})
+_EXIT_NODES = (ast.Return, ast.Continue, ast.Raise)
+
+
+def _is_tracer(node: ast.AST) -> bool:
+    """Does this expression denote a tracer object itself?"""
+    if isinstance(node, ast.Name):
+        return "tracer" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "tracer" in node.attr.lower()
+    return False
+
+
+def _guard_names(func: Optional[ast.AST]) -> Set[str]:
+    """Locals assigned from ``...enabled`` in ``func`` (e.g.
+    ``tracing = self.tracer.enabled``)."""
+    if func is None:
+        return set()
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and ".enabled" in code(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _test_guards(test: ast.AST, guard_names: Set[str]) -> bool:
+    if ".enabled" in code(test):
+        return True
+    return any(isinstance(n, ast.Name) and n.id in guard_names
+               for n in ast.walk(test))
+
+
+def _is_guarded(call: ast.Call, parents: Dict[ast.AST, ast.AST]) -> bool:
+    func = enclosing_function(call, parents)
+    guard_names = _guard_names(func)
+    for ancestor in iter_ancestors(call, parents):
+        if (isinstance(ancestor, ast.If)
+                and _test_guards(ancestor.test, guard_names)):
+            return True
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            break
+    if func is None:
+        return False
+    # Early-return guard above the call, e.g.
+    #   if tracer is None or not tracer.enabled:
+    #       return
+    call_line = getattr(call, "lineno", 0)
+    for node in ast.walk(func):
+        if (isinstance(node, ast.If)
+                and getattr(node, "lineno", call_line) < call_line
+                and node.body
+                and all(isinstance(s, _EXIT_NODES) for s in node.body)
+                and not node.orelse
+                and _test_guards(node.test, guard_names)):
+            return True
+    return False
+
+
+@file_rule(
+    GUARD_RULE,
+    summary="tracer.emit/span without a tracer.enabled guard",
+    guards="tracing-off hot paths cost one attribute load "
+           "(tests/obs equivalence suite)",
+    scope=in_src)
+def check_guard(ctx) -> Iterator[Finding]:
+    parents = build_parents(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _EMIT_METHODS
+                and _is_tracer(node.func.value)):
+            continue
+        if _is_guarded(node, parents):
+            continue
+        line, col = location(node)
+        yield Finding(
+            GUARD_RULE, ctx.path, line, col,
+            f"{code(node.func)}(...) runs even with tracing off; guard "
+            f"it with `if <tracer>.enabled:` (or an early return)")
+
+
+@file_rule(
+    TRUTHY_RULE,
+    summary="tracer null-check via truthiness instead of `is not None`",
+    guards="an empty Tracer is falsy — `tracer or NullTracer()` "
+           "dropped real tracers (PR-1 bug)",
+    scope=in_src)
+def check_truthiness(ctx) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        tests: List[ast.AST] = []
+        if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+            test = node.test
+            if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+                test = test.operand
+            tests.append(test)
+        elif isinstance(node, ast.BoolOp):
+            # Any tracer operand of and/or is a truthiness test
+            # (`tracer or NullTracer()` was the PR-1 bug shape).
+            tests.extend(node.values)
+        for test in tests:
+            if _is_tracer(test):
+                line, col = location(node)
+                yield Finding(
+                    TRUTHY_RULE, ctx.path, line, col,
+                    f"`{code(test)}` is checked by truthiness, but an "
+                    f"empty tracer is falsy; compare `is not None`")

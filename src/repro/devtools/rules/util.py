@@ -1,0 +1,62 @@
+"""Shared AST helpers for rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["build_parents", "code", "dotted_name", "enclosing_function",
+           "iter_ancestors", "location"]
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def build_parents(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """Child -> parent map for ancestor walks."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def code(node: Optional[ast.AST]) -> str:
+    """Source-ish text of a node (for substring checks and messages)."""
+    if node is None:
+        return ""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return ast.dump(node)
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for Name/Attribute chains, else ``""``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def iter_ancestors(node: ast.AST,
+                   parents: Dict[ast.AST, ast.AST]) -> Iterator[ast.AST]:
+    while node in parents:
+        node = parents[node]
+        yield node
+
+
+def enclosing_function(
+        node: ast.AST,
+        parents: Dict[ast.AST, ast.AST]) -> Optional[ast.AST]:
+    for ancestor in iter_ancestors(node, parents):
+        if isinstance(ancestor, _FUNCTION_NODES):
+            return ancestor
+    return None
+
+
+def location(node: ast.AST) -> Tuple[int, int]:
+    return getattr(node, "lineno", 1), getattr(node, "col_offset", 0)

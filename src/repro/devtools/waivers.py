@@ -1,0 +1,101 @@
+"""Inline lint waivers.
+
+Syntax (same line as the finding, or the line directly above it)::
+
+    bank = self._banks[hash(addr) % n]  # repro: lint-ok[wall-clock-ban] addr is an int; hash(int) is unsalted
+
+    # repro: lint-ok[rng-discipline] hypothesis draws the seed deterministically
+    import random
+
+Several rules can share one waiver: ``lint-ok[rule-a,rule-b] reason``.
+The justification is mandatory — a waiver without one is itself a
+finding (``waiver-syntax``), as is a waiver naming an unknown rule or
+one that never matches a finding (``unused-waiver``).  That keeps the
+waiver file from silently rotting as code moves.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Waiver", "Waivers", "parse_waivers"]
+
+_WAIVER_RE = re.compile(
+    r"#\s*repro:\s*lint-ok\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*?)\s*$")
+
+
+@dataclass
+class Waiver:
+    """One ``lint-ok`` comment."""
+
+    line: int
+    rule_ids: List[str]
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+    @property
+    def well_formed(self) -> bool:
+        return bool(self.rule_ids) and bool(self.reason)
+
+
+class Waivers:
+    """All waivers of one file, indexed for lookup by finding line."""
+
+    def __init__(self, waivers: List[Waiver]):
+        self._by_line: Dict[int, Waiver] = {w.line: w for w in waivers}
+
+    def __iter__(self):
+        return iter(self._by_line.values())
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+    def lookup(self, rule_id: str, line: int) -> Optional[Waiver]:
+        """The waiver covering ``rule_id`` at ``line``, if any.
+
+        A waiver covers the line it sits on and the line below it (the
+        comment-above form).  Malformed waivers never match — they are
+        reported instead of honoured.
+        """
+        for candidate_line in (line, line - 1):
+            waiver = self._by_line.get(candidate_line)
+            if (waiver is not None and waiver.well_formed
+                    and rule_id in waiver.rule_ids):
+                waiver.used = True
+                return waiver
+        return None
+
+
+def _iter_comments(source: str):
+    """(line, comment_text) for every real comment token.
+
+    Tokenizing (rather than regex over raw lines) keeps waiver examples
+    inside docstrings from registering as live waivers.  Files broken
+    enough to defeat the tokenizer fall back to a line scan so their
+    waivers stay visible alongside the parse error.
+    """
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, SyntaxError, ValueError):
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "#" in text:
+                yield lineno, text
+
+
+def parse_waivers(source: str) -> Waivers:
+    """Extract ``lint-ok`` waiver comments from ``source``."""
+    waivers: List[Waiver] = []
+    for lineno, comment in _iter_comments(source):
+        match = _WAIVER_RE.search(comment)
+        if match is None:
+            continue
+        rule_ids = [part.strip() for part in match.group("rules").split(",")
+                    if part.strip()]
+        waivers.append(Waiver(lineno, rule_ids, match.group("reason")))
+    return Waivers(waivers)

@@ -64,7 +64,12 @@ class MemoryDevice:
         self.queued_ns = 0.0
 
     def _bank_for(self, address: int) -> Resource:
-        return self._banks[hash(address) % len(self._banks)]
+        # Addresses are small non-negative int keys, for which builtin
+        # hash() was the identity anyway — plain modulo keeps the same
+        # bank interleaving while staying safe for any future key type
+        # (hash(str) is process-salted, which would randomize banking
+        # across runs).
+        return self._banks[address % len(self._banks)]
 
     def _access(self, address: int, service_ns: float) -> Generator:
         bank = self._bank_for(address)

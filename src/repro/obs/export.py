@@ -223,7 +223,7 @@ class JsonlSink:
         if self._owns:
             self._fh.close()
 
-    def __enter__(self) -> "JsonlSink":
+    def __enter__(self) -> JsonlSink:
         return self
 
     def __exit__(self, *exc: Any) -> None:

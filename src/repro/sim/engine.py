@@ -65,9 +65,9 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "defused")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: Simulator):
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.callbacks: Optional[List[Callable[[Event], None]]] = []
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
         self._scheduled = False
@@ -99,7 +99,7 @@ class Event:
 
     # -- triggering ------------------------------------------------------------
 
-    def succeed(self, value: Any = None) -> "Event":
+    def succeed(self, value: Any = None) -> Event:
         """Trigger the event successfully, resuming waiters with ``value``."""
         if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
@@ -108,7 +108,7 @@ class Event:
         self.sim._schedule(self, 0.0)
         return self
 
-    def fail(self, exc: BaseException) -> "Event":
+    def fail(self, exc: BaseException) -> Event:
         """Trigger the event as failed; waiters see ``exc`` raised."""
         if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
@@ -119,7 +119,7 @@ class Event:
         self.sim._schedule(self, 0.0)
         return self
 
-    def trigger(self, other: "Event") -> None:
+    def trigger(self, other: Event) -> None:
         """Mirror another (triggered) event's outcome onto this one."""
         if other._ok:
             self.succeed(other._value)
@@ -147,7 +147,7 @@ class Timeout(Event):
 
     __slots__ = ()
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: Simulator, delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(sim)
@@ -163,7 +163,7 @@ class Process(Event):
 
     __slots__ = ("generator", "_target", "name")
 
-    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
         super().__init__(sim)
         if not hasattr(generator, "send"):
             raise TypeError(f"process requires a generator, got {generator!r}")
@@ -253,7 +253,7 @@ class AllOf(Event):
 
     __slots__ = ("_children", "_pending_count")
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: Simulator, events: Iterable[Event]):
         super().__init__(sim)
         self._children = list(events)
         self._pending_count = 0
@@ -288,7 +288,7 @@ class AnyOf(Event):
 
     __slots__ = ("_children",)
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: Simulator, events: Iterable[Event]):
         super().__init__(sim)
         self._children = list(events)
         if not self._children:

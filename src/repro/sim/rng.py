@@ -27,7 +27,7 @@ class SeededStream:
         self.name = name
         self._random = random.Random(seed)
 
-    def fork(self, name: str) -> "SeededStream":
+    def fork(self, name: str) -> SeededStream:
         """Derive an independent child stream keyed by ``name``."""
         # Built-in hash() is salted per process (PYTHONHASHSEED), which
         # would make same-seed runs differ between invocations; a real

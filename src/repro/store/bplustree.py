@@ -21,7 +21,7 @@ class _Leaf:
     def __init__(self):
         self.keys: List[int] = []
         self.values: List[Any] = []
-        self.next: Optional["_Leaf"] = None
+        self.next: Optional[_Leaf] = None
 
 
 class _Inner:

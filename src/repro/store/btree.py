@@ -20,7 +20,7 @@ class _BNode:
     def __init__(self):
         self.keys: List[int] = []
         self.values: List[Any] = []
-        self.children: List["_BNode"] = []
+        self.children: List[_BNode] = []
 
     @property
     def is_leaf(self) -> bool:

@@ -23,7 +23,7 @@ class SlabClass:
     def __init__(self, chunk_bytes: int, max_chunks: int):
         self.chunk_bytes = chunk_bytes
         self.max_chunks = max_chunks
-        self.lru: "OrderedDict[int, Any]" = OrderedDict()
+        self.lru: OrderedDict[int, Any] = OrderedDict()
         self.evictions = 0
 
     @property

@@ -20,8 +20,8 @@ class _Node:
     def __init__(self, key: int, value: Any):
         self.key = key
         self.value = value
-        self.left: Optional["_Node"] = None
-        self.right: Optional["_Node"] = None
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
         self.height = 1
 
 

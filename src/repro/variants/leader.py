@@ -46,7 +46,7 @@ class LeaderProtocolNode(ProtocolNode):
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
-        self.leader_engine: Optional["LeaderProtocolNode"] = None
+        self.leader_engine: Optional[LeaderProtocolNode] = None
         self.forwarded_writes = 0
 
     def _one_way_ns(self) -> float:

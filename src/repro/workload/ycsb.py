@@ -31,7 +31,7 @@ class WorkloadSpec:
         if self.key_space < 1:
             raise ValueError(f"key_space must be >= 1: {self.key_space}")
 
-    def with_overrides(self, **changes) -> "WorkloadSpec":
+    def with_overrides(self, **changes) -> WorkloadSpec:
         """A copy with some fields replaced (for sensitivity sweeps)."""
         import dataclasses
         return dataclasses.replace(self, **changes)

@@ -1,0 +1,22 @@
+"""Shared helpers for the reprolint test suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import lint_sources
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+#: Virtual path fixtures are linted under, so src/repro-scoped rules
+#: apply to them.
+VIRTUAL_PATH = "src/repro/fixture_under_lint.py"
+
+
+@pytest.fixture
+def lint_fixture():
+    def run(name, rules=None, virtual_path=VIRTUAL_PATH):
+        source = (FIXTURES / name).read_text(encoding="utf-8")
+        return lint_sources([(virtual_path, source)], rule_ids=rules)
+    return run

@@ -1,0 +1,20 @@
+"""Failing fixture: an engine whose dispatch table is incomplete.
+
+Handles only INV, and maps UPD to a method that does not exist.
+"""
+
+from repro.core.messages import MsgType
+
+
+class BrokenEngine:
+    _DISPATCH = {
+        MsgType.INV: "_on_inv",
+        MsgType.UPD: "_on_upd_typo",
+    }
+
+    def _on_inv(self, message):
+        pass
+
+
+class TableFreeEngine:
+    """No _DISPATCH at all."""

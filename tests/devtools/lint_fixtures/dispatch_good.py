@@ -1,0 +1,14 @@
+"""Passing fixture: every MsgType member mapped to a real handler."""
+
+from repro.core.messages import MsgType
+
+
+class CompleteEngine:
+    _DISPATCH = {member: "_on_any" for member in MsgType}
+
+    def _on_any(self, message):
+        pass
+
+
+class InheritingEngine(CompleteEngine):
+    """Coverage via the MRO, like HybridProtocolNode."""

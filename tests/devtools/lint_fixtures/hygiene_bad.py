@@ -1,0 +1,21 @@
+"""Failing fixture: mutable defaults and a bare except."""
+
+
+def collect(item, into=[]):
+    into.append(item)
+    return into
+
+
+def index(key, table={}):
+    return table.setdefault(key, len(table))
+
+
+class Recoverer:
+    def __init__(self, peers=set()):
+        self.peers = peers
+
+    def scan(self, log):
+        try:
+            return log.replay()
+        except:
+            return None

@@ -1,0 +1,18 @@
+"""Passing fixture: None defaults and typed excepts."""
+
+
+def collect(item, into=None):
+    into = into if into is not None else []
+    into.append(item)
+    return into
+
+
+class Recoverer:
+    def __init__(self, peers=()):
+        self.peers = list(peers)
+
+    def scan(self, log):
+        try:
+            return log.replay()
+        except (OSError, ValueError):
+            return None

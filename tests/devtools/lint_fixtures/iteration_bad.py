@@ -1,0 +1,24 @@
+"""Failing fixture: protocol effects driven by set iteration order."""
+
+
+class Node:
+    def __init__(self, sim, peers, waiting):
+        self.sim = sim
+        self.peers = set(peers)
+        self.waiting = waiting
+        self.write_set = set()
+
+    def broadcast(self, message):
+        for dst in self.peers:
+            self._send(dst, message)
+
+    def flush(self):
+        for key in self.waiting.keys():
+            self.sim.schedule(0.0, key)
+
+    def settle(self):
+        for key in self.write_set:
+            self._send(0, key)
+
+    def _send(self, dst, message):
+        pass

@@ -1,0 +1,28 @@
+"""Passing fixture: effects only from ordered iteration."""
+
+
+class Node:
+    def __init__(self, sim, peers, waiting):
+        self.sim = sim
+        self.peers = list(peers)
+        self.waiting = waiting
+        self.write_set = set()
+
+    def broadcast(self, message):
+        for dst in self.peers:
+            self._send(dst, message)
+
+    def flush(self):
+        for key in sorted(self.waiting.keys()):
+            self.sim.schedule(0.0, key)
+
+    def settle(self):
+        for key in sorted(self.write_set):
+            self._send(0, key)
+
+    def tally(self):
+        # Order-insensitive set iteration (pure reduction) is fine.
+        return sum(1 for _ in self.write_set)
+
+    def _send(self, dst, message):
+        pass

@@ -1,0 +1,14 @@
+"""Failing fixture: every flavour of undisciplined randomness."""
+
+import os
+import random  # noqa: F401
+import uuid  # noqa: F401
+from secrets import token_bytes  # noqa: F401
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def salt() -> bytes:
+    return os.urandom(8)

@@ -1,0 +1,10 @@
+"""Passing fixture: randomness flows through a SeededStream fork."""
+
+
+def jitter(rng) -> float:
+    # rng is a SeededStream forked from the run's root seed.
+    return rng.expovariate(1.0)
+
+
+def build(root):
+    return root.fork("service-jitter")

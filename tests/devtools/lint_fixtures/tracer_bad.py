@@ -1,0 +1,18 @@
+"""Failing fixture: unguarded emits and tracer truthiness."""
+
+
+class Node:
+    def __init__(self, sim, tracer):
+        self.sim = sim
+        # The PR-1 bug shape: an *empty* tracer is falsy, so this
+        # silently replaces a real tracer with the null one.
+        self.tracer = tracer or None
+
+    def handle(self, message):
+        # No .enabled guard: marshals arguments even with tracing off.
+        self.tracer.emit(self.sim.now, "msg", node=0, msg=message)
+
+    def describe(self, tracer):
+        if tracer:
+            return "tracing"
+        return "quiet"

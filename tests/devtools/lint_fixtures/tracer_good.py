@@ -1,0 +1,25 @@
+"""Passing fixture: every guard pattern the rule recognises."""
+
+
+class Node:
+    def __init__(self, sim, tracer):
+        self.sim = sim
+        self.tracer = tracer if tracer is not None else None
+
+    def handle(self, message):
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, "msg", node=0, msg=message)
+
+    def round_trip(self, message):
+        tracing = self.tracer.enabled
+        if tracing:
+            start = self.sim.now
+            self.tracer.emit(start, "msg_recv", node=0)
+        if tracing:
+            self.tracer.span(start, self.sim.now, "msg_handle", node=0)
+
+
+def report(tracer, now):
+    if tracer is None or not tracer.enabled:
+        return
+    tracer.emit(now, "recovery_scan", dur=1.0)

@@ -1,0 +1,16 @@
+"""Failing fixture: wall-clock reads and salted hashing."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def when() -> str:
+    return datetime.now().isoformat()
+
+
+def bank_for(key: str, banks: int) -> int:
+    return hash(key) % banks

@@ -1,0 +1,16 @@
+"""Passing fixture: simulated time and stable hashing only."""
+
+import hashlib
+
+
+def stamp(sim) -> float:
+    return sim.now
+
+
+def bank_for(key: int, banks: int) -> int:
+    return key % banks
+
+
+def digest(name: str) -> int:
+    raw = hashlib.blake2b(name.encode(), digest_size=8).digest()
+    return int.from_bytes(raw, "big")

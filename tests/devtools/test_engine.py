@@ -1,0 +1,170 @@
+"""Engine mechanics: waivers, file walking, parse errors, reports."""
+
+import json
+
+from repro.devtools import (
+    Finding,
+    format_text,
+    iter_python_files,
+    lint_sources,
+    to_json,
+)
+from repro.devtools.waivers import parse_waivers
+
+BAD_IMPORT = "import random\n"
+
+
+class TestWaivers:
+    def test_same_line_waiver(self):
+        src = "import random  # repro: lint-ok[rng-discipline] test shim\n"
+        result = lint_sources([("src/repro/x.py", src)])
+        assert result.clean
+        assert len(result.waived) == 1
+        assert result.waived[0].waive_reason == "test shim"
+
+    def test_line_above_waiver(self):
+        src = ("# repro: lint-ok[rng-discipline] test shim\n"
+               "import random\n")
+        assert lint_sources([("src/repro/x.py", src)]).clean
+
+    def test_waiver_two_lines_up_does_not_match(self):
+        src = ("# repro: lint-ok[rng-discipline] too far away\n"
+               "\n"
+               "import random\n")
+        result = lint_sources([("src/repro/x.py", src)])
+        rules = {f.rule for f in result.unwaived}
+        assert "rng-discipline" in rules
+        assert "unused-waiver" in rules
+
+    def test_waiver_for_wrong_rule_does_not_match(self):
+        src = "import random  # repro: lint-ok[bare-except] wrong rule\n"
+        result = lint_sources([("src/repro/x.py", src)])
+        assert {f.rule for f in result.unwaived} == {"rng-discipline",
+                                                     "unused-waiver"}
+
+    def test_multi_rule_waiver(self):
+        src = ("import random  "
+               "# repro: lint-ok[rng-discipline,wall-clock-ban] shared\n")
+        result = lint_sources([("src/repro/x.py", src)])
+        # rng waived; the wall-clock half never fires, but the waiver
+        # as a whole was used so it is not reported unused.
+        assert result.clean
+
+    def test_waiver_without_reason_is_a_finding(self):
+        src = "import random  # repro: lint-ok[rng-discipline]\n"
+        result = lint_sources([("src/repro/x.py", src)])
+        rules = {f.rule for f in result.unwaived}
+        assert "waiver-syntax" in rules
+        assert "rng-discipline" in rules  # malformed waivers don't waive
+
+    def test_waiver_with_unknown_rule_is_a_finding(self):
+        src = "import random  # repro: lint-ok[rng-disciplin] typo\n"
+        result = lint_sources([("src/repro/x.py", src)])
+        assert "waiver-syntax" in {f.rule for f in result.unwaived}
+
+    def test_unused_waiver_is_a_finding(self):
+        src = "x = 1  # repro: lint-ok[rng-discipline] nothing here\n"
+        result = lint_sources([("src/repro/x.py", src)])
+        assert [f.rule for f in result.unwaived] == ["unused-waiver"]
+
+    def test_waiver_inside_docstring_is_not_live(self):
+        src = ('"""Example: # repro: lint-ok[rng-discipline] doc"""\n'
+               "x = 1\n")
+        result = lint_sources([("src/repro/x.py", src)])
+        assert result.clean
+        assert len(parse_waivers(src)) == 0
+
+    def test_rule_subset_skips_waiver_validation(self):
+        src = "x = 1  # repro: lint-ok[rng-discipline] will be stale\n"
+        result = lint_sources([("src/repro/x.py", src)],
+                              rule_ids=["rng-discipline"])
+        assert result.clean
+
+
+class TestParseErrors:
+    def test_unparseable_file_is_reported(self):
+        result = lint_sources([("src/repro/x.py", "def broken(:\n")])
+        assert [f.rule for f in result.findings] == ["parse-error"]
+        assert not result.clean
+
+
+class TestFileWalking:
+    def test_skips_fixture_and_cache_dirs(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "lint_fixtures").mkdir()
+        (tmp_path / "pkg" / "lint_fixtures" / "bad.py").write_text(
+            "import random\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("x=1\n")
+        files = iter_python_files([str(tmp_path)])
+        assert [f.split("/")[-1] for f in files] == ["ok.py"]
+
+    def test_explicit_file_overrides_skip(self, tmp_path):
+        fixture_dir = tmp_path / "lint_fixtures"
+        fixture_dir.mkdir()
+        bad = fixture_dir / "bad.py"
+        bad.write_text("import random\n")
+        assert iter_python_files([str(bad)]) == [str(bad)]
+
+    def test_missing_path_raises_usage_error(self):
+        import pytest
+
+        from repro.devtools import UsageError
+        with pytest.raises(UsageError):
+            iter_python_files(["definitely/not/here"])
+
+    def test_walk_order_is_deterministic(self, tmp_path):
+        for name in ("b.py", "a.py", "c.py"):
+            (tmp_path / name).write_text("x = 1\n")
+        first = iter_python_files([str(tmp_path)])
+        second = iter_python_files([str(tmp_path)])
+        assert first == second == sorted(first)
+
+
+class TestReports:
+    def test_text_report_pins_locations(self):
+        result = lint_sources([("src/repro/x.py", BAD_IMPORT)])
+        text = format_text(result)
+        assert "src/repro/x.py:1:0: rng-discipline:" in text
+        assert "1 finding(s)" in text
+
+    def test_text_report_hides_waived_by_default(self):
+        src = "import random  # repro: lint-ok[rng-discipline] shim\n"
+        result = lint_sources([("src/repro/x.py", src)])
+        assert "rng-discipline" not in format_text(result)
+        assert "rng-discipline" in format_text(result, show_waived=True)
+
+    def test_json_schema(self):
+        result = lint_sources([("src/repro/x.py", BAD_IMPORT)])
+        doc = json.loads(to_json(result))
+        assert doc["schema"] == "repro.lint_report/1"
+        assert doc["files"] == 1
+        assert doc["total"] == 1
+        assert doc["clean"] is False
+        assert doc["counts"] == {"rng-discipline": 1}
+        finding = doc["findings"][0]
+        assert finding["rule"] == "rng-discipline"
+        assert finding["path"] == "src/repro/x.py"
+        assert finding["line"] == 1
+        assert "message" in finding and "col" in finding
+        assert finding["waived"] is False
+
+    def test_json_clean_document(self):
+        doc = json.loads(to_json(lint_sources([("src/repro/x.py",
+                                                "x = 1\n")])))
+        assert doc["clean"] is True
+        assert doc["findings"] == []
+        assert doc["rules"]  # the rules that ran are recorded
+
+    def test_findings_sorted_and_stable(self):
+        src = "import uuid\nimport random\n"
+        result = lint_sources([("src/repro/x.py", src)])
+        lines = [f.line for f in result.findings]
+        assert lines == sorted(lines)
+
+    def test_finding_waive_roundtrip(self):
+        finding = Finding("r", "p.py", 3, 0, "msg")
+        waived = finding.waive("because")
+        assert waived.waived and waived.waive_reason == "because"
+        assert not finding.waived  # original untouched (frozen)

@@ -82,7 +82,7 @@ def test_memcached_never_exceeds_capacity(ops):
             # Eviction may lose the key, but a present value must be right.
             if got is not None:
                 assert got == model.get(key)
-    for slab_chunk, used, max_chunks in store.slab_stats():
+    for _slab_chunk, used, max_chunks in store.slab_stats():
         assert used <= max_chunks
 
 
