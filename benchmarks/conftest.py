@@ -20,7 +20,7 @@ import pytest
 
 from repro.cluster.cluster import run_simulation
 from repro.cluster.config import ClusterConfig
-from repro.obs.report import _clean
+from repro.obs.report import _clean, config_fingerprint
 from repro.workload.ycsb import WORKLOADS
 
 DURATION_NS = float(os.environ.get("REPRO_BENCH_DURATION_NS", 150_000))
@@ -80,6 +80,9 @@ def archive_json(name: str, config: dict, metrics: dict,
         "schema": BENCH_SCHEMA,
         "bench": name,
         "config": _clean(config),
+        # The fingerprint `repro diff` uses to reject apples-to-oranges
+        # comparisons between artifacts from different sweeps.
+        "config_hash": config_fingerprint(config),
         "metrics": _clean(metrics),
         "wall_clock": {"seconds": round(wall_clock_seconds, 3)},
     }

@@ -99,6 +99,12 @@ def windowed_op_series(ops: Iterable[OpRecord], window_ns: float,
     if end_ns is None:
         end_ns = last_end
     count = max(int(math.ceil((end_ns - start_ns) / window_ns)), 0)
+    if buckets:
+        # An op completing exactly on a window boundary (end_ns a whole
+        # multiple of window_ns) buckets into the window *starting*
+        # there; emit that window too or the op silently vanishes from
+        # the series.
+        count = max(count, max(buckets) + 1)
     series: List[WindowStat] = []
     for index in range(count):
         lats = sorted(buckets.get(index, ()))

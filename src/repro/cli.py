@@ -12,6 +12,10 @@ Subcommands:
   end-to-end VP/DP latency went (network / coordination-wait / NVM-queue
   / device / compute), aggregated and for the slowest updates; ``--all``
   sweeps the 25-model matrix fig6-style.
+* ``diff`` — compare two run reports or ``BENCH_*.json`` artifacts:
+  config-hash compatibility check, per-metric deltas with a noise
+  threshold, and a regression verdict (markdown or ``--json``).  Exit
+  codes: 0 no regression, 1 regression, 2 unusable/incompatible input.
 * ``sweep`` — run several models on the same workload, normalized to
   <Linearizable, Synchronous> (a one-line Figure 6 slice).
 * ``tradeoffs`` — print the derived Table 4 (or the full 25-model grid).
@@ -25,9 +29,13 @@ Examples::
 
     python -m repro.cli run --consistency causal --persistency synchronous
     python -m repro.cli run --trace-out t.json --metrics-out m.json --profile
+    python -m repro.cli run --health --metrics-out report.json
     python -m repro.cli trace --consistency causal --persistency eventual
+    python -m repro.cli trace t.json            # re-open a saved trace
     python -m repro.cli journey --consistency linearizable --slowest 3
+    python -m repro.cli journey report.json     # re-open a saved report
     python -m repro.cli journey --all --duration-us 40
+    python -m repro.cli diff baseline.json fresh.json --json
     python -m repro.cli sweep --workload B --duration-us 150
     python -m repro.cli tradeoffs --all
     python -m repro.cli recover --persistency eventual --strategy majority
@@ -37,6 +45,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -50,12 +59,20 @@ from repro.core.model import Consistency, DdpModel, Persistency, all_ddp_models
 from repro.core.tradeoffs import analyze_all
 from repro.devtools.cli import add_lint_parser, cmd_lint
 from repro.obs import (
+    DiffError,
     FanoutTracer,
+    HealthMonitor,
     JourneyTracker,
     JsonlSink,
     KernelProfile,
     build_run_report,
+    config_fingerprint,
+    diff_json,
+    diff_paths,
+    format_markdown,
+    health_chrome_events,
     journey_chrome_events,
+    load_artifact,
     write_chrome_trace,
     write_run_report,
 )
@@ -118,9 +135,55 @@ def _add_observability(parser: argparse.ArgumentParser) -> None:
                         help="track per-update journeys and write a "
                              "run-report JSON with the critical-path "
                              "waterfall (journeys section)")
+    parser.add_argument("--journey-sample-every", type=_positive(int),
+                        default=1, metavar="N",
+                        help="track every Nth write (default: 1)")
+    parser.add_argument("--journey-max", type=_positive(int), default=None,
+                        metavar="N",
+                        help="cap tracked journeys; later writes count "
+                             "as dropped (default: unlimited)")
     parser.add_argument("--profile", action="store_true",
                         help="collect and print simulation-kernel "
                              "profile counters")
+    parser.add_argument("--health", action="store_true",
+                        help="sample cluster health on the simulation "
+                             "clock (persist queues, causal buffers, "
+                             "inflight rounds, invariant probes); folds "
+                             "into --metrics-out and --trace-out")
+    parser.add_argument("--health-interval-us", type=_positive(float),
+                        default=5.0,
+                        help="health sampling interval (default: 5 us)")
+    parser.add_argument("--health-samples", type=_positive(int),
+                        default=10_000,
+                        help="max health samples kept (default: 10000)")
+    parser.add_argument("--health-top-k", type=int, default=8,
+                        help="hot keys tracked per sample (default: 8)")
+
+
+def _run_meta(args, model: DdpModel, duration_ns: float,
+              warmup_ns: float) -> dict:
+    """Artifact metadata, including the ``config_hash`` that lets
+    ``repro diff`` refuse apples-to-oranges comparisons.  The hash
+    covers the resolved experiment shape (model, workload, cluster
+    size) but not the seed or duration, so same-shape runs with
+    different seeds stay comparable."""
+    return {
+        "model": str(model),
+        "consistency": model.consistency.value,
+        "persistency": model.persistency.value,
+        "workload": args.workload,
+        "servers": args.servers,
+        "clients": args.clients,
+        "seed": args.seed,
+        "duration_ns": duration_ns,
+        "warmup_ns": warmup_ns,
+        "config_hash": config_fingerprint({
+            "model": str(model),
+            "workload": args.workload,
+            "servers": args.servers,
+            "clients": args.clients,
+        }),
+    }
 
 
 class _Observability:
@@ -147,12 +210,23 @@ class _Observability:
                               ring=args.trace_ring)
                        if want_trace else None)
         self.points = PointsTracker(args.servers) if want_metrics else None
-        self.journey = JourneyTracker(args.servers) if want_journey else None
+        self.journey = (JourneyTracker(
+                            args.servers,
+                            sample_every=args.journey_sample_every,
+                            max_journeys=args.journey_max)
+                        if want_journey else None)
         self.jsonl = (JsonlSink(args.trace_jsonl)
                       if getattr(args, "trace_jsonl", None) else None)
         self.metrics = (Metrics(window_ns=self.window_ns)
                         if want_metrics else None)
         self.profile = KernelProfile() if args.profile else None
+        self.monitor = None
+        if getattr(args, "health", False):
+            self.monitor = HealthMonitor(
+                interval_ns=args.health_interval_us * 1000.0,
+                max_samples=args.health_samples,
+                top_k=args.health_top_k)
+            self.monitor.watch(tracer=self.tracer, journey=self.journey)
         sinks = [s for s in (self.tracer, self.points, self.journey,
                              self.jsonl)
                  if s is not None]
@@ -164,17 +238,7 @@ class _Observability:
         """Write the requested artifacts after the run."""
         if self.jsonl is not None:
             self.jsonl.close()
-        meta = {
-            "model": str(model),
-            "consistency": model.consistency.value,
-            "persistency": model.persistency.value,
-            "workload": args.workload,
-            "servers": args.servers,
-            "clients": args.clients,
-            "seed": args.seed,
-            "duration_ns": duration_ns,
-            "warmup_ns": warmup_ns,
-        }
+        meta = _run_meta(args, model, duration_ns, warmup_ns)
         waterfall = None
         if self.journey is not None:
             waterfall = aggregate_journeys(self.journey.journeys,
@@ -183,10 +247,12 @@ class _Observability:
         if getattr(args, "trace_out", None):
             extra = (journey_chrome_events(self.journey.journeys,
                                            args.servers)
-                     if self.journey is not None else None)
+                     if self.journey is not None else [])
+            if self.monitor is not None:
+                extra = list(extra) + health_chrome_events(self.monitor)
             write_chrome_trace(args.trace_out, self.tracer.records,
                                dropped=self.tracer.dropped, meta=meta,
-                               extra_events=extra)
+                               extra_events=extra or None)
             print(f"trace    -> {args.trace_out} "
                   f"({len(self.tracer)} records, "
                   f"{self.tracer.dropped} dropped)")
@@ -195,7 +261,8 @@ class _Observability:
                                       meta=meta, points=self.points,
                                       profile=self.profile,
                                       tracer=self.tracer,
-                                      journeys=waterfall)
+                                      journeys=waterfall,
+                                      monitor=self.monitor)
             write_run_report(args.metrics_out, report)
             print(f"metrics  -> {args.metrics_out} "
                   f"(window {args.metrics_window_us:g} us)")
@@ -204,11 +271,19 @@ class _Observability:
                                       meta=meta, points=self.points,
                                       profile=self.profile,
                                       tracer=self.tracer,
-                                      journeys=waterfall)
+                                      journeys=waterfall,
+                                      monitor=self.monitor)
             write_run_report(args.journey_out, report)
             print(f"journeys -> {args.journey_out} "
                   f"({len(self.journey)} tracked, "
                   f"{self.journey.dropped} dropped)")
+        if self.monitor is not None:
+            print(f"health   :  {len(self.monitor)} samples "
+                  f"(every {self.monitor.interval_ns / 1000:g} us, "
+                  f"{self.monitor.dropped} dropped)  "
+                  f"peak-queue={self.monitor.peak_event_queue_depth}  "
+                  f"peak-nvm={self.monitor.peak_nvm_outstanding}  "
+                  f"violations={self.monitor.violations_total}")
         if self.profile is not None:
             print(self.profile.format())
 
@@ -229,6 +304,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace_parser = subparsers.add_parser(
         "trace", help="run one model and dump its event timeline")
+    trace_parser.add_argument("input", nargs="?", default=None,
+                              metavar="FILE",
+                              help="re-open a saved Chrome-trace JSON "
+                                   "instead of running a simulation")
     trace_parser.add_argument("--consistency", default="causal",
                               choices=[c.value for c in Consistency])
     trace_parser.add_argument("--persistency", default="synchronous",
@@ -251,6 +330,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     journey_parser = subparsers.add_parser(
         "journey", help="per-update critical-path latency waterfalls")
+    journey_parser.add_argument("input", nargs="?", default=None,
+                                metavar="FILE",
+                                help="re-open a saved run-report JSON "
+                                     "(journeys section) instead of "
+                                     "running a simulation")
     journey_parser.add_argument("--consistency", default="causal",
                                 choices=[c.value for c in Consistency])
     journey_parser.add_argument("--persistency", default="synchronous",
@@ -271,8 +355,27 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="track every Nth write (default: 1)")
     journey_parser.add_argument("--journey-out", metavar="PATH", default=None,
                                 help="write the run-report JSON "
-                                     "(repro.run_report/2) with the "
+                                     "(repro.run_report/3) with the "
                                      "journeys section (single model only)")
+
+    diff_parser = subparsers.add_parser(
+        "diff", help="compare two run reports / bench artifacts for "
+                     "regressions")
+    diff_parser.add_argument("baseline", help="baseline artifact "
+                             "(run-report or BENCH_*.json)")
+    diff_parser.add_argument("candidate", help="candidate artifact to "
+                             "judge against the baseline")
+    diff_parser.add_argument("--threshold", type=_positive(float),
+                             default=5.0, metavar="PCT",
+                             help="noise threshold in percent "
+                                  "(default: 5)")
+    diff_parser.add_argument("--json", action="store_true", dest="as_json",
+                             help="print the repro.diff_report/1 JSON "
+                                  "instead of markdown")
+    diff_parser.add_argument("--out", metavar="PATH", default=None,
+                             help="also write the JSON diff document here")
+    diff_parser.add_argument("--force", action="store_true",
+                             help="compare despite a config-hash mismatch")
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="compare models on one workload")
@@ -310,7 +413,8 @@ def _cmd_run(args) -> int:
                              warmup_ns=warmup,
                              tracer=obs.engine_tracer,
                              metrics=obs.metrics,
-                             profile=obs.profile)
+                             profile=obs.profile,
+                             monitor=obs.monitor)
     print(format_summary_table([(str(model), summary)]))
     print(f"\npersists={summary.persists}  messages={summary.total_messages}"
           f"  causal-buffer-peak={summary.causal_buffer_peak}"
@@ -319,7 +423,49 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _load_trace_file(path: str) -> dict:
+    """Load a saved Chrome-trace JSON; :class:`DiffError` if unusable."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise DiffError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise DiffError(f"{path} is not valid JSON ({exc})") from exc
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"),
+                                                   list):
+        raise DiffError(f"{path}: not a Chrome trace_event file "
+                        f"(no traceEvents array)")
+    return doc
+
+
+def _show_trace_file(args) -> int:
+    try:
+        doc = _load_trace_file(args.input)
+    except DiffError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    events = doc["traceEvents"]
+    other = doc.get("otherData", {})
+    model = other.get("model", "?")
+    print(f"{args.input}: model {model}   "
+          f"{other.get('record_count', len(events))} records, "
+          f"{other.get('dropped_records', 0)} dropped")
+    counts: dict = {}
+    for event in events:
+        if event.get("ph") == "M":
+            continue
+        name = str(event.get("name", "?"))
+        counts[name] = counts.get(name, 0) + 1
+    print("\nevent counts:")
+    for name, count in sorted(counts.items()):
+        print(f"  {name:28s} {count:8d}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
+    if args.input is not None:
+        return _show_trace_file(args)
     model = _model_from(args)
     duration = args.duration_us * 1000.0
     warmup = duration / 10
@@ -354,7 +500,38 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _show_journey_file(args) -> int:
+    try:
+        doc = load_artifact(args.input)
+    except DiffError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    journeys = doc.get("journeys")
+    if not isinstance(journeys, dict):
+        print(f"repro: {args.input}: run report has no journeys section "
+              f"(produce one with --journey-out)", file=sys.stderr)
+        return 2
+    meta = doc.get("meta", {})
+    print(f"{args.input}: model {meta.get('model', '?')}   "
+          f"{journeys.get('journeys', 0)} journeys, "
+          f"{journeys.get('dropped', 0)} dropped")
+    for point in ("vp", "dp"):
+        aggregate = journeys.get(point)
+        if not aggregate:
+            print(f"  {point}: no completed journeys")
+            continue
+        buckets = aggregate.get("buckets_ns", {})
+        top = sorted(buckets.items(), key=lambda kv: (-kv[1], kv[0]))[:3]
+        split = "  ".join(f"{name} {ns / 1000:.1f}us" for name, ns in top)
+        print(f"  {point}: {aggregate.get('count', 0)} journeys, "
+              f"mean {aggregate.get('mean_latency_ns', 0.0) / 1000:.2f} us"
+              f"   top buckets: {split}")
+    return 0
+
+
 def _cmd_journey(args) -> int:
+    if args.input is not None:
+        return _show_journey_file(args)
     if args.journey_out and args.all:
         raise SystemExit("repro: --journey-out needs a single model "
                          "(drop --all)")
@@ -391,23 +568,33 @@ def _cmd_journey(args) -> int:
         first = False
         print(format_waterfall(report))
         if args.journey_out:
-            meta = {
-                "model": str(model),
-                "consistency": model.consistency.value,
-                "persistency": model.persistency.value,
-                "workload": args.workload,
-                "servers": args.servers,
-                "clients": args.clients,
-                "seed": args.seed,
-                "duration_ns": duration,
-                "warmup_ns": warmup,
-            }
+            meta = _run_meta(args, model, duration, warmup)
             doc = build_run_report(summary, metrics, window_ns, meta=meta,
                                    points=points, journeys=report)
             write_run_report(args.journey_out, doc)
             print(f"\njourneys -> {args.journey_out} "
                   f"({len(tracker)} tracked, {tracker.dropped} dropped)")
     return 0
+
+
+def _cmd_diff(args) -> int:
+    try:
+        report = diff_paths(args.baseline, args.candidate,
+                            threshold=args.threshold / 100.0,
+                            force=args.force)
+    except DiffError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    doc = diff_json(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+            fh.write("\n")
+    if args.as_json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(format_markdown(report))
+    return 1 if report.verdict == "regression" else 0
 
 
 def _cmd_sweep(args) -> int:
@@ -468,6 +655,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "trace": _cmd_trace,
     "journey": _cmd_journey,
+    "diff": _cmd_diff,
     "sweep": _cmd_sweep,
     "tradeoffs": _cmd_tradeoffs,
     "recover": _cmd_recover,

@@ -34,7 +34,7 @@ class Cluster:
     def __init__(self, model: DdpModel, config: Optional[ClusterConfig] = None,
                  workload: Optional[WorkloadSpec] = None, tracer=None,
                  version_board=None, metrics: Optional[Metrics] = None,
-                 profile=None):
+                 profile=None, monitor=None):
         self.model = model
         self.config = config or ClusterConfig()
         self.workload = workload
@@ -60,6 +60,11 @@ class Cluster:
         self.clients: List[Client] = []
         if workload is not None:
             self._build_clients(workload)
+        self.monitor = monitor
+        if monitor is not None:
+            # Attached last so the monitor sees the fully-built cluster;
+            # it samples on the simulation clock from here on.
+            monitor.attach(self)
 
     def _build_clients(self, workload: WorkloadSpec) -> None:
         client_id = 0
@@ -93,6 +98,10 @@ class Cluster:
         self.metrics.txn_aborts = self.txn_table.aborted
         if self.profile is not None:
             self.profile.stop(self.sim.now)
+        if self.monitor is not None:
+            # Stop re-arming the sampling tick; anything the caller runs
+            # on this simulator afterwards (e.g. recovery) is unsampled.
+            self.monitor.stop(self.sim.now)
         return self.metrics.summarize(self.sim.now)
 
     # -- failure injection --------------------------------------------------------------
@@ -115,15 +124,16 @@ def run_simulation(model: DdpModel, workload: WorkloadSpec,
                    duration_ns: float = 300_000.0,
                    warmup_ns: float = 30_000.0,
                    tracer=None, metrics: Optional[Metrics] = None,
-                   profile=None) -> Summary:
+                   profile=None, monitor=None) -> Summary:
     """Build, run, and summarize one experiment.
 
     The defaults (300 us measured window after 30 us warmup) keep single
     runs fast while giving each of the 100 default clients on the order
     of a hundred completed requests under the fastest models.
-    ``tracer`` / ``metrics`` / ``profile`` plug in observability sinks
-    (see :mod:`repro.obs`) without changing the run.
+    ``tracer`` / ``metrics`` / ``profile`` / ``monitor`` plug in
+    observability sinks (see :mod:`repro.obs`) without changing the run.
     """
     cluster = Cluster(model, config=config, workload=workload,
-                      tracer=tracer, metrics=metrics, profile=profile)
+                      tracer=tracer, metrics=metrics, profile=profile,
+                      monitor=monitor)
     return cluster.run(duration_ns, warmup_ns)

@@ -1226,6 +1226,11 @@ class ProtocolNode:
     def outstanding_write_count(self) -> int:
         return len(self._outstanding_writes)
 
+    @property
+    def inflight_round_count(self) -> int:
+        """Outstanding INITX / ENDX / PERSIST coordination rounds."""
+        return len(self._outstanding_rounds)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ProtocolNode(node={self.node_id}, model={self.model}, "
                 f"keys={len(self.replicas)})")

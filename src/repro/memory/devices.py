@@ -101,6 +101,12 @@ class MemoryDevice:
     def peak_queue_len(self) -> int:
         return max(b.peak_queue_len for b in self._banks)
 
+    @property
+    def banks_busy(self) -> int:
+        """Banks currently in service (utilization numerator; divide by
+        ``timing.total_banks`` for a fraction)."""
+        return sum(1 for b in self._banks if b.in_use)
+
 
 class DramDevice(MemoryDevice):
     """DRAM with the paper's Table 5 timing (100 ns symmetric)."""

@@ -1,4 +1,4 @@
-"""Observability: trace export, kernel profiling, and run reports.
+"""Observability: trace export, kernel profiling, run reports, health.
 
 This package turns the raw signals the simulation already produces
 (:class:`repro.sim.trace.Tracer` records, :class:`repro.analysis.metrics.
@@ -17,8 +17,23 @@ VP/DP events) into artifacts a human or a tool can consume:
 * :mod:`repro.obs.journey` — :class:`JourneyTracker`, a sink that
   assembles one end-to-end :class:`UpdateJourney` per write for the
   critical-path waterfalls of :mod:`repro.analysis.waterfall`.
+* :mod:`repro.obs.monitor` — :class:`HealthMonitor`, a DES-clock-driven
+  periodic sampler of cluster pressure (persist queues, causal buffers,
+  inflight rounds, hot keys) with online invariant probes.
+* :mod:`repro.obs.diff` — cross-run regression diffing of run reports
+  and ``BENCH_*.json`` artifacts (the ``repro diff`` subcommand and the
+  CI perf gate).
 """
 
+from repro.obs.diff import (
+    DiffError,
+    DiffReport,
+    diff_documents,
+    diff_json,
+    diff_paths,
+    format_markdown,
+    load_artifact,
+)
 from repro.obs.export import (
     JsonlSink,
     chrome_trace_events,
@@ -28,8 +43,19 @@ from repro.obs.export import (
 )
 from repro.obs.fanout import FanoutTracer
 from repro.obs.journey import JourneyTracker, UpdateJourney
+from repro.obs.monitor import (
+    HealthMonitor,
+    HealthSample,
+    HealthViolation,
+    health_chrome_events,
+    health_json,
+)
 from repro.obs.profile import KernelProfile
-from repro.obs.report import build_run_report, write_run_report
+from repro.obs.report import (
+    build_run_report,
+    config_fingerprint,
+    write_run_report,
+)
 
 __all__ = [
     "JsonlSink",
@@ -40,7 +66,20 @@ __all__ = [
     "FanoutTracer",
     "JourneyTracker",
     "UpdateJourney",
+    "HealthMonitor",
+    "HealthSample",
+    "HealthViolation",
+    "health_chrome_events",
+    "health_json",
     "KernelProfile",
     "build_run_report",
+    "config_fingerprint",
     "write_run_report",
+    "DiffError",
+    "DiffReport",
+    "diff_documents",
+    "diff_json",
+    "diff_paths",
+    "format_markdown",
+    "load_artifact",
 ]

@@ -1,0 +1,312 @@
+"""Cross-run regression diffing for run reports and bench artifacts.
+
+Three PRs of observability produce machine-readable artifacts
+(``repro.run_report/*`` from the CLI, ``BENCH_*.json`` from the
+benchmark suite) that, until now, nobody compared.  This module turns
+two such artifacts into a decision:
+
+* **compatibility check** — artifacts are only compared apples-to-apples
+  (same schema family, and matching ``config_hash`` where present; a
+  mismatch is an error unless forced);
+* **per-metric deltas** — every shared numeric metric of the summary
+  (run reports) or of each swept configuration (bench artifacts) is
+  diffed with a relative noise threshold;
+* **verdict** — metrics have directions (throughput up = good, latency
+  up = bad, counters informational), so the diff ends in a
+  ``regression`` / ``no-regression`` verdict naming the offending
+  metrics — the contract the CI perf gate enforces.
+
+Output is markdown (:func:`format_markdown`) for humans and
+``repro.diff_report/1`` JSON (:func:`diff_json`) for machines.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["DiffError", "MetricDelta", "DiffReport", "load_artifact",
+           "diff_documents", "diff_paths", "format_markdown", "diff_json"]
+
+DIFF_SCHEMA = "repro.diff_report/1"
+
+RUN_REPORT_SCHEMAS = ("repro.run_report/1", "repro.run_report/2",
+                      "repro.run_report/3")
+BENCH_SCHEMAS = ("repro.bench/1",)
+
+#: Metric name -> direction.  "higher" means an increase is good (a
+#: decrease beyond the threshold is a regression), "lower" the reverse;
+#: anything not listed is informational: reported, never a verdict.
+METRIC_DIRECTIONS: Dict[str, str] = {
+    "throughput_ops_per_s": "higher",
+    "mean_read_ns": "lower",
+    "mean_write_ns": "lower",
+    "mean_access_ns": "lower",
+    "p95_read_ns": "lower",
+    "p95_write_ns": "lower",
+    "p99_read_ns": "lower",
+    "p99_write_ns": "lower",
+}
+
+DEFAULT_THRESHOLD = 0.05
+"""Relative change below which a delta is attributed to noise."""
+
+
+class DiffError(Exception):
+    """Unusable input (unreadable, bad schema, incompatible configs).
+
+    The CLI maps this to exit code 2 with a one-line message.
+    """
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric compared across the two artifacts."""
+
+    label: str
+    """Which result row the metric belongs to ("summary" for run
+    reports, the swept-configuration label for bench artifacts)."""
+    metric: str
+    baseline: Optional[float]
+    candidate: Optional[float]
+    delta_frac: Optional[float]
+    """(candidate - baseline) / baseline, or None if undefined."""
+    direction: str
+    """"higher" | "lower" | "info"."""
+    verdict: str
+    """"ok" | "regression" | "improvement" | "info" | "n/a"."""
+
+
+@dataclass
+class DiffReport:
+    """The outcome of comparing two artifacts."""
+
+    baseline: str
+    candidate: str
+    schema_family: str
+    config_hash: Tuple[Optional[str], Optional[str]]
+    threshold: float
+    entries: List[MetricDelta] = field(default_factory=list)
+    forced: bool = False
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [e for e in self.entries if e.verdict == "regression"]
+
+    @property
+    def improvements(self) -> List[MetricDelta]:
+        return [e for e in self.entries if e.verdict == "improvement"]
+
+    @property
+    def verdict(self) -> str:
+        return "regression" if self.regressions else "no-regression"
+
+
+# ---------------------------------------------------------------------------
+# loading
+# ---------------------------------------------------------------------------
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    """Load and schema-check one artifact; :class:`DiffError` on any
+    unusable input."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise DiffError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise DiffError(f"{path} is not valid JSON ({exc})") from exc
+    if not isinstance(doc, dict) or "schema" not in doc:
+        raise DiffError(f"{path}: not a repro artifact (no schema field)")
+    schema = doc["schema"]
+    if schema not in RUN_REPORT_SCHEMAS + BENCH_SCHEMAS:
+        raise DiffError(f"{path}: unsupported schema {schema!r} (expected "
+                        f"one of {', '.join(RUN_REPORT_SCHEMAS + BENCH_SCHEMAS)})")
+    return doc
+
+
+def _schema_family(doc: Dict[str, Any]) -> str:
+    return "bench" if doc["schema"] in BENCH_SCHEMAS else "run_report"
+
+
+def _doc_config_hash(doc: Dict[str, Any]) -> Optional[str]:
+    if _schema_family(doc) == "bench":
+        value = doc.get("config_hash")
+    else:
+        value = doc.get("meta", {}).get("config_hash")
+    return value if isinstance(value, str) else None
+
+
+def _metric_rows(doc: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
+    """label -> {metric: value} for either artifact kind."""
+    if _schema_family(doc) == "bench":
+        rows = {}
+        for label, metrics in doc.get("metrics", {}).items():
+            if isinstance(metrics, dict):
+                rows[label] = {k: v for k, v in metrics.items()
+                               if isinstance(v, (int, float))}
+        return rows
+    summary = doc.get("summary", {})
+    return {"summary": {k: v for k, v in summary.items()
+                        if isinstance(v, (int, float))}}
+
+
+# ---------------------------------------------------------------------------
+# comparison
+# ---------------------------------------------------------------------------
+
+def _compare_one(label: str, metric: str, base: Optional[float],
+                 cand: Optional[float], threshold: float) -> MetricDelta:
+    direction = METRIC_DIRECTIONS.get(metric, "info")
+    if (base is None or cand is None
+            or (isinstance(base, float) and math.isnan(base))
+            or (isinstance(cand, float) and math.isnan(cand))):
+        return MetricDelta(label, metric, base, cand, None, direction, "n/a")
+    delta = (cand - base) / base if base else (0.0 if cand == base else None)
+    if direction == "info" or delta is None:
+        return MetricDelta(label, metric, base, cand, delta, direction,
+                           "info" if direction == "info" else "n/a")
+    worse = -delta if direction == "higher" else delta
+    if worse > threshold:
+        verdict = "regression"
+    elif -worse > threshold:
+        verdict = "improvement"
+    else:
+        verdict = "ok"
+    return MetricDelta(label, metric, base, cand, delta, direction, verdict)
+
+
+def diff_documents(base_doc: Dict[str, Any], cand_doc: Dict[str, Any],
+                   baseline: str = "baseline", candidate: str = "candidate",
+                   threshold: float = DEFAULT_THRESHOLD,
+                   force: bool = False) -> DiffReport:
+    """Compare two loaded artifacts; :class:`DiffError` if they are not
+    comparable (different kinds, or conflicting config hashes) unless
+    ``force`` is set."""
+    family_a, family_b = _schema_family(base_doc), _schema_family(cand_doc)
+    if family_a != family_b:
+        raise DiffError(f"cannot diff a {family_a} artifact against a "
+                        f"{family_b} artifact")
+    hash_a, hash_b = _doc_config_hash(base_doc), _doc_config_hash(cand_doc)
+    if (hash_a is not None and hash_b is not None and hash_a != hash_b
+            and not force):
+        raise DiffError(
+            f"config mismatch: {baseline} was produced by config "
+            f"{hash_a} but {candidate} by {hash_b} — an apples-to-"
+            f"oranges comparison (pass --force to diff anyway)")
+    report = DiffReport(baseline=baseline, candidate=candidate,
+                        schema_family=family_a,
+                        config_hash=(hash_a, hash_b),
+                        threshold=threshold, forced=force)
+    rows_a, rows_b = _metric_rows(base_doc), _metric_rows(cand_doc)
+    shared_labels = [label for label in rows_a if label in rows_b]
+    if not shared_labels:
+        raise DiffError("the artifacts share no result rows to compare")
+    for label in sorted(shared_labels):
+        base_metrics, cand_metrics = rows_a[label], rows_b[label]
+        for metric in sorted(set(base_metrics) & set(cand_metrics)):
+            report.entries.append(_compare_one(
+                label, metric, base_metrics.get(metric),
+                cand_metrics.get(metric), threshold))
+    return report
+
+
+def diff_paths(baseline: str, candidate: str,
+               threshold: float = DEFAULT_THRESHOLD,
+               force: bool = False) -> DiffReport:
+    """Load two artifact files and compare them."""
+    return diff_documents(load_artifact(baseline), load_artifact(candidate),
+                          baseline=baseline, candidate=candidate,
+                          threshold=threshold, force=force)
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and math.isnan(value):
+        return "nan"
+    if abs(value) >= 1e6:
+        return f"{value:,.0f}"
+    if isinstance(value, float) and value != int(value):
+        return f"{value:,.1f}"
+    return f"{value:,.0f}"
+
+
+def _fmt_delta(delta: Optional[float]) -> str:
+    return "-" if delta is None else f"{delta:+.1%}"
+
+
+def format_markdown(report: DiffReport, show_ok: bool = True) -> str:
+    """A human-readable markdown diff (verdict first, then the table)."""
+    lines = [
+        f"# repro diff — {report.verdict}",
+        "",
+        f"* baseline:  `{report.baseline}` (config {report.config_hash[0] or 'unhashed'})",
+        f"* candidate: `{report.candidate}` (config {report.config_hash[1] or 'unhashed'})",
+        f"* noise threshold: {report.threshold:.0%}"
+        + ("  (forced past a config mismatch)" if report.forced
+           and report.config_hash[0] != report.config_hash[1] else ""),
+        "",
+    ]
+    if report.regressions:
+        lines.append("Regressions:")
+        for entry in report.regressions:
+            lines.append(f"* **{entry.label} / {entry.metric}**: "
+                         f"{_fmt(entry.baseline)} -> {_fmt(entry.candidate)} "
+                         f"({_fmt_delta(entry.delta_frac)})")
+        lines.append("")
+    if report.improvements:
+        lines.append("Improvements:")
+        for entry in report.improvements:
+            lines.append(f"* {entry.label} / {entry.metric}: "
+                         f"{_fmt(entry.baseline)} -> {_fmt(entry.candidate)} "
+                         f"({_fmt_delta(entry.delta_frac)})")
+        lines.append("")
+    entries = (report.entries if show_ok
+               else [e for e in report.entries
+                     if e.verdict in ("regression", "improvement")])
+    if entries:
+        lines.append("| row | metric | baseline | candidate | delta | verdict |")
+        lines.append("|---|---|---:|---:|---:|---|")
+        for entry in entries:
+            lines.append(
+                f"| {entry.label} | {entry.metric} | {_fmt(entry.baseline)} "
+                f"| {_fmt(entry.candidate)} | {_fmt_delta(entry.delta_frac)} "
+                f"| {entry.verdict} |")
+    return "\n".join(lines)
+
+
+def diff_json(report: DiffReport) -> Dict[str, Any]:
+    """The machine-readable ``repro.diff_report/1`` document."""
+    def clean(value: Optional[float]) -> Optional[float]:
+        if value is None:
+            return None
+        return value if math.isfinite(value) else None
+
+    return {
+        "schema": DIFF_SCHEMA,
+        "baseline": report.baseline,
+        "candidate": report.candidate,
+        "kind": report.schema_family,
+        "config_hash": {"baseline": report.config_hash[0],
+                        "candidate": report.config_hash[1]},
+        "threshold": report.threshold,
+        "forced": report.forced,
+        "verdict": report.verdict,
+        "regressions": [f"{e.label}/{e.metric}" for e in report.regressions],
+        "improvements": [f"{e.label}/{e.metric}"
+                         for e in report.improvements],
+        "metrics": [
+            {"row": e.label, "metric": e.metric,
+             "baseline": clean(e.baseline), "candidate": clean(e.candidate),
+             "delta_frac": clean(e.delta_frac), "direction": e.direction,
+             "verdict": e.verdict}
+            for e in report.entries
+        ],
+    }

@@ -43,6 +43,8 @@ LANES: Dict[str, Iterable[str]] = {
     "recovery": ("recovery_scan", "recovery_reconcile", "recovery_resolve",
                  "recovery_done"),
     "journey": ("journey_vp", "journey_dp", "write_complete"),
+    "health": ("health", "health.kernel", "health.pressure",
+               "health_violation"),
 }
 
 _LANE_NAMES = list(LANES) + ["misc"]

@@ -9,9 +9,10 @@ Durability-Point lag series, and (optionally) the kernel profile.
 Schema (see DESIGN.md "Run-report JSON" for field-level docs)::
 
     {
-      "schema": "repro.run_report/2",
+      "schema": "repro.run_report/3",
       "meta":     {model, consistency, persistency, servers, clients,
-                   seed, workload, duration_ns, warmup_ns, window_ns},
+                   seed, workload, duration_ns, warmup_ns, window_ns,
+                   config_hash},
       "summary":  {...Summary fields...},
       "windows":  [{start_ns, end_ns, ops, throughput_ops_per_s,
                     mean_ns, p50_ns, p99_ns}],
@@ -23,12 +24,17 @@ Schema (see DESIGN.md "Run-report JSON" for field-level docs)::
                    "summary": {...PointsSummary fields...}},
       "profile":  {...KernelProfile.snapshot()...},
       "trace":    {"records": n, "dropped": n, "categories": {...}},
-      "journeys": {...repro.analysis.waterfall.waterfall_json(...)...}
+      "journeys": {...repro.analysis.waterfall.waterfall_json(...)...},
+      "health":   {...repro.obs.monitor.health_json(...)...}
     }
 
 Schema history: ``/1`` (PR 1) lacked the ``journeys`` section; ``/2``
 adds it (critical-path waterfall aggregates, see DESIGN.md "Journey
-waterfalls").  All ``/1`` fields are unchanged.
+waterfalls"); ``/3`` adds the optional ``health`` section (periodic
+pressure samples and invariant-probe violations, see DESIGN.md
+"Online health monitoring") and the ``meta.config_hash`` fingerprint
+that ``repro diff`` uses to refuse apples-to-oranges comparisons.
+Fields of older schemas are unchanged.
 
 NaN/inf values (empty windows, models that never persist) are emitted
 as ``null`` so the document is strict JSON.
@@ -37,15 +43,17 @@ as ``null`` so the document is strict JSON.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import math
 from typing import Any, Dict, Optional
 
 from repro.analysis.metrics import Metrics, Summary
 
-__all__ = ["SCHEMA", "build_run_report", "write_run_report"]
+__all__ = ["SCHEMA", "config_fingerprint", "build_run_report",
+           "write_run_report"]
 
-SCHEMA = "repro.run_report/2"
+SCHEMA = "repro.run_report/3"
 
 
 def _clean(value: Any) -> Any:
@@ -63,20 +71,39 @@ def _clean(value: Any) -> Any:
     return str(value)
 
 
+def config_fingerprint(config: Dict[str, Any]) -> str:
+    """A short, stable fingerprint of a resolved run configuration.
+
+    blake2b (not the salted builtin ``hash()``) over the canonical JSON
+    of the cleaned config dict, so the same configuration hashes the
+    same across processes and Python versions.  ``repro diff`` refuses
+    to compare artifacts whose fingerprints differ.  Seeds and run
+    durations are echoed separately in the report meta and deliberately
+    left *out* of the dict callers pass here: two runs of the same
+    cluster/workload shape are comparable even across seeds.
+    """
+    payload = json.dumps(_clean(dict(config)), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.blake2b(payload.encode("utf-8"),
+                           digest_size=8).hexdigest()
+
+
 def build_run_report(summary: Summary, metrics: Metrics,
                      window_ns: float,
                      meta: Optional[Dict[str, Any]] = None,
                      points: Any = None,
                      profile: Any = None,
                      tracer: Any = None,
-                     journeys: Any = None) -> Dict[str, Any]:
+                     journeys: Any = None,
+                     monitor: Any = None) -> Dict[str, Any]:
     """Assemble the report dict from a finished run's collectors.
 
     ``points`` is a :class:`repro.analysis.points.PointsTracker` (or
     None), ``profile`` a :class:`repro.obs.profile.KernelProfile`,
     ``tracer`` a :class:`repro.sim.trace.Tracer`, ``journeys`` a
-    :class:`repro.analysis.waterfall.WaterfallReport`; all optional so
-    callers include only what they measured.
+    :class:`repro.analysis.waterfall.WaterfallReport`, ``monitor`` a
+    :class:`repro.obs.monitor.HealthMonitor`; all optional so callers
+    include only what they measured.
     """
     report: Dict[str, Any] = {
         "schema": SCHEMA,
@@ -106,6 +133,9 @@ def build_run_report(summary: Summary, metrics: Metrics,
     if journeys is not None:
         from repro.analysis.waterfall import waterfall_json
         report["journeys"] = _clean(waterfall_json(journeys))
+    if monitor is not None:
+        from repro.obs.monitor import health_json
+        report["health"] = _clean(health_json(monitor))
     return report
 
 

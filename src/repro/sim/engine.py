@@ -439,3 +439,9 @@ class Simulator:
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._heap[0][0] if self._heap else float("inf")
+
+    @property
+    def queue_depth(self) -> int:
+        """Scheduled-but-unprocessed events (the kernel's backlog; the
+        health monitor samples this as its load signal)."""
+        return len(self._heap)

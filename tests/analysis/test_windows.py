@@ -76,6 +76,35 @@ class TestWindowedOpSeries:
         with pytest.raises(ValueError):
             windowed_op_series([], window_ns=0.0)
 
+    def test_no_ops_yields_empty_series(self):
+        assert windowed_op_series([], window_ns=100.0) == []
+
+    def test_no_ops_with_explicit_end_pads_empty_windows(self):
+        series = windowed_op_series([], window_ns=100.0, end_ns=250.0)
+        assert [w.ops for w in series] == [0, 0, 0]
+        assert all(math.isnan(w.p99_ns) for w in series)
+
+    def test_single_op(self):
+        (window,) = windowed_op_series([_op("read", 50.0, latency=10.0)],
+                                       window_ns=100.0)
+        assert window.ops == 1
+        assert (window.start_ns, window.end_ns) == (0.0, 100.0)
+        assert window.mean_ns == window.p50_ns == window.p99_ns == 10.0
+
+    def test_boundary_op_lands_in_the_window_starting_there(self):
+        """An op completing exactly at a window boundary belongs to the
+        window that *starts* there (half-open [start, end) windows) and
+        must not vanish from the series."""
+        series = windowed_op_series([_op("read", 100.0)], window_ns=100.0)
+        assert [w.ops for w in series] == [0, 1]
+        assert series[1].start_ns == 100.0
+
+    def test_boundary_op_survives_alongside_interior_ops(self):
+        ops = [_op("read", 50.0), _op("read", 200.0), _op("read", 120.0)]
+        series = windowed_op_series(ops, window_ns=100.0)
+        assert [w.ops for w in series] == [1, 1, 1]
+        assert sum(w.ops for w in series) == len(ops)
+
     def test_latency_percentiles_per_window(self):
         ops = [_op("read", 90.0, latency=lat)
                for lat in (10.0, 20.0, 30.0, 40.0)]

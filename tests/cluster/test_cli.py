@@ -89,8 +89,9 @@ class TestCommands:
         assert trace["otherData"]["record_count"] > 0
 
         report = json.loads(report_path.read_text())
-        assert report["schema"] == "repro.run_report/2"
+        assert report["schema"] == "repro.run_report/3"
         assert report["meta"]["window_ns"] == 5000.0
+        assert len(report["meta"]["config_hash"]) == 16
         assert report["windows"], "windowed throughput series missing"
         assert all("p50_ns" in w and "p99_ns" in w
                    and "throughput_ops_per_s" in w
@@ -150,3 +151,169 @@ class TestCommands:
         assert code == 0
         assert "total recovery time" in out
         assert "divergent keys" in out
+
+    def test_run_with_health_monitoring(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        trace_path = tmp_path / "trace.json"
+        code = main(["run", "--servers", "3", "--clients", "6",
+                     "--duration-us", "30", "--health",
+                     "--health-interval-us", "2",
+                     "--metrics-out", str(report_path),
+                     "--trace-out", str(trace_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "health" in out and "violations=0" in out
+        report = json.loads(report_path.read_text())
+        health = report["health"]
+        assert health["samples"] > 0
+        assert health["violations"]["total"] == 0
+        assert set(health["series"]["per_node"]) == {"0", "1", "2"}
+        trace = json.loads(trace_path.read_text())
+        counters = [e for e in trace["traceEvents"] if e.get("ph") == "C"]
+        assert {e["name"] for e in counters} == {"health.kernel",
+                                                "health.pressure"}
+
+    def test_journey_caps_report_their_drops(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        code = main(["run", "--servers", "3", "--clients", "6",
+                     "--duration-us", "30",
+                     "--journey-out", str(report_path),
+                     "--journey-max", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "5 tracked" in out
+        report = json.loads(report_path.read_text())
+        assert report["journeys"]["journeys"] == 5
+        assert report["journeys"]["dropped"] > 0
+
+
+class TestInputFileModes:
+    def test_trace_reopens_a_saved_file(self, capsys, tmp_path):
+        path = tmp_path / "t.json"
+        assert main(["trace", "--servers", "3", "--clients", "6",
+                     "--duration-us", "20", "--limit", "0",
+                     "--out", str(path)]) == 0
+        capsys.readouterr()
+        code = main(["trace", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "event counts:" in out
+        assert "msg_send" in out
+
+    def test_trace_missing_file_exits_2(self, capsys, tmp_path):
+        code = main(["trace", str(tmp_path / "nope.json")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("repro: cannot read")
+        assert "Traceback" not in captured.err
+
+    def test_trace_schema_mismatch_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "not-a-trace.json"
+        path.write_text(json.dumps({"schema": "repro.run_report/3"}))
+        code = main(["trace", str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "not a Chrome trace_event file" in captured.err
+
+    def test_journey_reopens_a_saved_report(self, capsys, tmp_path):
+        path = tmp_path / "report.json"
+        assert main(["journey", "--servers", "3", "--clients", "6",
+                     "--duration-us", "30",
+                     "--journey-out", str(path)]) == 0
+        capsys.readouterr()
+        code = main(["journey", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "journeys" in out
+        assert "vp:" in out and "dp:" in out
+
+    def test_journey_unreadable_file_exits_2(self, capsys, tmp_path):
+        code = main(["journey", str(tmp_path / "nope.json")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("repro: cannot read")
+
+    def test_journey_report_without_journeys_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "plain.json"
+        assert main(["run", "--servers", "3", "--clients", "6",
+                     "--duration-us", "20",
+                     "--metrics-out", str(path)]) == 0
+        capsys.readouterr()
+        code = main(["journey", str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no journeys section" in captured.err
+
+    def test_journey_invalid_json_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{oops")
+        code = main(["journey", str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "not valid JSON" in captured.err
+
+
+class TestDiffCommand:
+    def _report(self, tmp_path, name, seed="2021"):
+        path = tmp_path / name
+        assert main(["run", "--servers", "3", "--clients", "6",
+                     "--duration-us", "20", "--seed", seed,
+                     "--metrics-out", str(path)]) == 0
+        return path
+
+    def test_same_seed_no_regression(self, capsys, tmp_path):
+        base = self._report(tmp_path, "a.json")
+        cand = self._report(tmp_path, "b.json")
+        capsys.readouterr()
+        code = main(["diff", str(base), str(cand)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no-regression" in out
+
+    def test_injected_p99_regression_names_the_metric(self, capsys,
+                                                      tmp_path):
+        base = self._report(tmp_path, "a.json")
+        doc = json.loads(base.read_text())
+        doc["summary"]["p99_write_ns"] *= 1.2
+        cand = tmp_path / "worse.json"
+        cand.write_text(json.dumps(doc))
+        capsys.readouterr()
+        code = main(["diff", str(base), str(cand), "--json"])
+        out = capsys.readouterr().out
+        assert code == 1
+        parsed = json.loads(out)
+        assert parsed["verdict"] == "regression"
+        assert parsed["regressions"] == ["summary/p99_write_ns"]
+
+    def test_config_mismatch_exits_2_unless_forced(self, capsys, tmp_path):
+        base = self._report(tmp_path, "a.json")
+        doc = json.loads(base.read_text())
+        doc["meta"]["config_hash"] = "0" * 16
+        cand = tmp_path / "other.json"
+        cand.write_text(json.dumps(doc))
+        code = main(["diff", str(base), str(cand)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "apples-to-oranges" in captured.err
+        assert main(["diff", str(base), str(cand), "--force"]) == 0
+        capsys.readouterr()
+
+    def test_diff_writes_json_artifact(self, capsys, tmp_path):
+        base = self._report(tmp_path, "a.json")
+        cand = self._report(tmp_path, "b.json")
+        out_path = tmp_path / "diff.json"
+        capsys.readouterr()
+        code = main(["diff", str(base), str(cand), "--out", str(out_path)])
+        capsys.readouterr()
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro.diff_report/1"
+        assert doc["verdict"] == "no-regression"
+
+    def test_unusable_input_exits_2(self, capsys, tmp_path):
+        base = self._report(tmp_path, "a.json")
+        capsys.readouterr()
+        code = main(["diff", str(base), str(tmp_path / "nope.json")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("repro: cannot read")

@@ -1,0 +1,191 @@
+"""Tests for cross-run regression diffing (`repro diff` / the CI gate)."""
+
+import json
+
+import pytest
+
+from repro.obs import (DiffError, diff_documents, diff_json, diff_paths,
+                       format_markdown, load_artifact)
+from repro.obs.diff import DIFF_SCHEMA
+
+
+def _run_report(p99=1_000.0, throughput=1e8, config_hash="cafe",
+                schema="repro.run_report/3", **extra):
+    summary = {"throughput_ops_per_s": throughput, "p99_write_ns": p99,
+               "mean_write_ns": 800.0, "persists": 5_000}
+    summary.update(extra)
+    return {"schema": schema, "meta": {"config_hash": config_hash},
+            "summary": summary}
+
+
+def _bench(config_hash="beef", **labels):
+    return {"schema": "repro.bench/1", "bench": "fig6",
+            "config_hash": config_hash,
+            "metrics": labels or {
+                "<Causal, Synchronous>": {"throughput_ops_per_s": 1e8},
+            }}
+
+
+class TestVerdicts:
+    def test_identical_reports_no_regression(self):
+        report = diff_documents(_run_report(), _run_report())
+        assert report.verdict == "no-regression"
+        assert report.regressions == []
+        assert all(e.verdict in ("ok", "info") for e in report.entries)
+
+    def test_p99_inflation_is_a_regression_naming_the_metric(self):
+        report = diff_documents(_run_report(),
+                                _run_report(p99=1_200.0))  # +20%
+        assert report.verdict == "regression"
+        names = [(e.label, e.metric) for e in report.regressions]
+        assert ("summary", "p99_write_ns") in names
+
+    def test_throughput_drop_is_a_regression(self):
+        report = diff_documents(_run_report(), _run_report(throughput=0.8e8))
+        assert any(e.metric == "throughput_ops_per_s"
+                   for e in report.regressions)
+
+    def test_latency_drop_is_an_improvement(self):
+        report = diff_documents(_run_report(), _run_report(p99=800.0))
+        assert report.verdict == "no-regression"
+        assert any(e.metric == "p99_write_ns" for e in report.improvements)
+
+    def test_noise_threshold_swallows_small_deltas(self):
+        report = diff_documents(_run_report(), _run_report(p99=1_040.0))
+        assert report.verdict == "no-regression"
+        tight = diff_documents(_run_report(), _run_report(p99=1_040.0),
+                               threshold=0.01)
+        assert tight.verdict == "regression"
+
+    def test_info_metrics_never_regress(self):
+        report = diff_documents(_run_report(persists=5_000),
+                                _run_report(persists=50_000))
+        (entry,) = [e for e in report.entries if e.metric == "persists"]
+        assert entry.verdict == "info"
+        assert report.verdict == "no-regression"
+
+    def test_nan_values_are_na(self):
+        report = diff_documents(_run_report(p99=float("nan")), _run_report())
+        (entry,) = [e for e in report.entries if e.metric == "p99_write_ns"]
+        assert entry.verdict == "n/a"
+        assert entry.delta_frac is None
+
+    def test_absent_metric_is_skipped_not_compared(self):
+        base = _run_report()
+        del base["summary"]["p99_write_ns"]
+        report = diff_documents(base, _run_report())
+        assert not any(e.metric == "p99_write_ns" for e in report.entries)
+
+
+class TestCompatibility:
+    def test_config_hash_mismatch_refused(self):
+        with pytest.raises(DiffError, match="apples-to-oranges"):
+            diff_documents(_run_report(config_hash="aaaa"),
+                           _run_report(config_hash="bbbb"))
+
+    def test_force_overrides_the_mismatch(self):
+        report = diff_documents(_run_report(config_hash="aaaa"),
+                                _run_report(config_hash="bbbb"), force=True)
+        assert report.forced
+        assert report.config_hash == ("aaaa", "bbbb")
+
+    def test_unhashed_artifacts_still_compare(self):
+        old = _run_report(schema="repro.run_report/1")
+        del old["meta"]["config_hash"]
+        report = diff_documents(old, _run_report())
+        assert report.config_hash[0] is None
+        assert report.entries
+
+    def test_family_mismatch_refused(self):
+        with pytest.raises(DiffError, match="bench"):
+            diff_documents(_run_report(), _bench())
+
+    def test_no_shared_rows_refused(self):
+        base = _bench(**{"A": {"throughput_ops_per_s": 1e8}})
+        cand = _bench(**{"B": {"throughput_ops_per_s": 1e8}})
+        with pytest.raises(DiffError, match="no result rows"):
+            diff_documents(base, cand)
+
+
+class TestBenchArtifacts:
+    def test_per_label_rows(self):
+        base = _bench(**{
+            "<Causal, Synchronous>": {"throughput_ops_per_s": 1e8},
+            "<Linearizable, Strict>": {"throughput_ops_per_s": 5e7},
+        })
+        cand = _bench(**{
+            "<Causal, Synchronous>": {"throughput_ops_per_s": 1e8},
+            "<Linearizable, Strict>": {"throughput_ops_per_s": 3e7},
+        })
+        report = diff_documents(base, cand)
+        assert report.schema_family == "bench"
+        assert [(e.label, e.verdict) for e in report.regressions] == \
+            [("<Linearizable, Strict>", "regression")]
+
+
+class TestLoading:
+    def test_roundtrip_via_paths(self, tmp_path):
+        base, cand = tmp_path / "a.json", tmp_path / "b.json"
+        base.write_text(json.dumps(_run_report()))
+        cand.write_text(json.dumps(_run_report(p99=1_500.0)))
+        report = diff_paths(str(base), str(cand))
+        assert report.verdict == "regression"
+        assert report.baseline == str(base)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DiffError, match="cannot read"):
+            load_artifact(str(tmp_path / "nope.json"))
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(DiffError, match="not valid JSON"):
+            load_artifact(str(path))
+
+    def test_missing_schema(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        with pytest.raises(DiffError, match="no schema field"):
+            load_artifact(str(path))
+
+    def test_unsupported_schema(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"schema": "repro.run_report/99"}))
+        with pytest.raises(DiffError, match="unsupported schema"):
+            load_artifact(str(path))
+
+    def test_old_run_report_schemas_accepted(self, tmp_path):
+        for schema in ("repro.run_report/1", "repro.run_report/2"):
+            path = tmp_path / "old.json"
+            path.write_text(json.dumps(_run_report(schema=schema)))
+            assert load_artifact(str(path))["schema"] == schema
+
+
+class TestRendering:
+    def test_markdown_leads_with_the_verdict(self):
+        report = diff_documents(_run_report(), _run_report(p99=1_300.0))
+        text = format_markdown(report)
+        assert text.startswith("# repro diff — regression")
+        assert "p99_write_ns" in text
+        assert "+30.0%" in text
+
+    def test_markdown_show_ok_false_hides_quiet_rows(self):
+        report = diff_documents(_run_report(), _run_report(p99=1_300.0))
+        text = format_markdown(report, show_ok=False)
+        assert "p99_write_ns" in text
+        assert "persists" not in text
+
+    def test_json_document(self):
+        report = diff_documents(_run_report(), _run_report(p99=1_300.0),
+                                threshold=0.1)
+        doc = diff_json(report)
+        assert doc["schema"] == DIFF_SCHEMA
+        assert doc["verdict"] == "regression"
+        assert doc["regressions"] == ["summary/p99_write_ns"]
+        assert doc["threshold"] == 0.1
+        json.dumps(doc, allow_nan=False)  # strict JSON
+
+    def test_json_verdict_is_deterministic(self):
+        a = diff_json(diff_documents(_run_report(), _run_report()))
+        b = diff_json(diff_documents(_run_report(), _run_report()))
+        assert a == b

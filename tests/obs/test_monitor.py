@@ -1,0 +1,302 @@
+"""Tests for the online health monitor.
+
+Real-cluster runs pin down the sampling cadence, bounded storage, and
+determinism; a minimal fake cluster drives the invariant probes into
+violation on purpose (a healthy simulation never violates them, so the
+recording path needs a rigged one).
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import ClusterConfig
+from repro.core.model import Consistency, DdpModel, Persistency
+from repro.obs import (HealthMonitor, JourneyTracker, health_chrome_events,
+                       health_json)
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+from repro.workload.ycsb import WORKLOADS
+
+
+def _monitored_run(model=None, monitor=None, seed=2021,
+                   duration_ns=40_000.0):
+    model = model or DdpModel(Consistency.CAUSAL, Persistency.SYNCHRONOUS)
+    if monitor is None:  # empty monitors are falsy (__len__ == 0)
+        monitor = HealthMonitor(interval_ns=2_000.0)
+    config = ClusterConfig(servers=3, clients_per_server=3, seed=seed)
+    cluster = Cluster(model, config=config, workload=WORKLOADS["A"],
+                      monitor=monitor)
+    cluster.run(duration_ns, warmup_ns=4_000.0)
+    return cluster, monitor
+
+
+class TestSampling:
+    def test_samples_on_the_simulation_clock(self):
+        _, monitor = _monitored_run()
+        # 40 us run, 2 us interval: ticks at 2, 4, ..., 40 us.
+        assert len(monitor) == 20
+        times = [s.time_ns for s in monitor.samples]
+        assert times == [2_000.0 * (i + 1) for i in range(20)]
+
+    def test_sample_shape_tracks_cluster_size(self):
+        cluster, monitor = _monitored_run()
+        n = len(cluster.nodes)
+        for sample in monitor.samples:
+            assert len(sample.nvm_outstanding) == n
+            assert len(sample.nvm_banks_busy) == n
+            assert len(sample.causal_buffer) == n
+            assert len(sample.inflight_writes) == n
+            assert len(sample.inflight_rounds) == n
+
+    def test_a_loaded_run_shows_pressure(self):
+        _, monitor = _monitored_run()
+        assert monitor.peak_event_queue_depth > 0
+        assert monitor.peak_nvm_outstanding > 0
+        hot = monitor.top_keys_total()
+        assert hot, "no hot keys observed on a write-heavy workload"
+        # Hottest first, deterministic tie-break by key.
+        counts = [count for _key, count in hot]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_healthy_run_has_no_violations(self):
+        _, monitor = _monitored_run()
+        assert monitor.violations_total == 0
+        assert monitor.violations == []
+
+    def test_same_seed_same_health(self):
+        _, first = _monitored_run()
+        _, second = _monitored_run()
+        assert health_json(first) == health_json(second)
+
+    def test_bounded_samples_count_dropped(self):
+        monitor = HealthMonitor(interval_ns=2_000.0, max_samples=5)
+        _, monitor = _monitored_run(monitor=monitor)
+        assert len(monitor) == 5
+        assert monitor.dropped == 15
+
+    def test_stop_ends_sampling(self):
+        cluster, monitor = _monitored_run()
+        taken = len(monitor)
+        cluster.sim.run(until=cluster.sim.now + 20_000.0)
+        assert len(monitor) == taken
+        assert monitor.stopped_at_ns == 40_000.0
+
+    def test_watch_echoes_dropped_counters(self):
+        tracer = Tracer(max_records=10)
+        journey = JourneyTracker(3, max_journeys=5)
+        monitor = HealthMonitor(interval_ns=2_000.0)
+        monitor.watch(tracer=tracer, journey=journey)
+        model = DdpModel(Consistency.CAUSAL, Persistency.SYNCHRONOUS)
+        from repro.obs import FanoutTracer
+        config = ClusterConfig(servers=3, clients_per_server=3, seed=2021)
+        cluster = Cluster(model, config=config, workload=WORKLOADS["A"],
+                          tracer=FanoutTracer([tracer, journey]),
+                          monitor=monitor)
+        cluster.run(40_000.0, warmup_ns=4_000.0)
+        last = monitor.samples[-1]
+        assert last.tracer_dropped == tracer.dropped > 0
+        assert last.journey_dropped == journey.dropped > 0
+
+    def test_top_k_zero_disables_the_sketch(self):
+        monitor = HealthMonitor(interval_ns=2_000.0, top_k=0)
+        _, monitor = _monitored_run(monitor=monitor)
+        assert all(s.top_keys == () for s in monitor.samples)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(interval_ns=0.0)
+        with pytest.raises(ValueError):
+            HealthMonitor(max_samples=0)
+        with pytest.raises(ValueError):
+            HealthMonitor(top_k=-1)
+
+    def test_double_attach_rejected(self):
+        cluster, monitor = _monitored_run()
+        with pytest.raises(RuntimeError):
+            monitor.attach(cluster)
+
+
+class TestProbeConfiguration:
+    def test_default_model_enables_all_probes(self):
+        _, monitor = _monitored_run()
+        assert monitor.probes == {"applied_monotonic": True,
+                                  "persisted_monotonic": True,
+                                  "vp_before_dp": True}
+
+    def test_transactional_disables_revert_sensitive_probes(self):
+        model = DdpModel(Consistency.TRANSACTIONAL, Persistency.SYNCHRONOUS)
+        _, monitor = _monitored_run(model=model)
+        assert monitor.probes["applied_monotonic"] is False
+        assert monitor.probes["vp_before_dp"] is False
+        assert monitor.probes["persisted_monotonic"] is True
+
+    def test_strict_disables_vp_before_dp(self):
+        model = DdpModel(Consistency.CAUSAL, Persistency.STRICT)
+        _, monitor = _monitored_run(model=model)
+        assert monitor.probes["vp_before_dp"] is False
+        assert monitor.probes["applied_monotonic"] is True
+
+    @pytest.mark.parametrize("model", [
+        DdpModel(Consistency.LINEARIZABLE, Persistency.SYNCHRONOUS),
+        DdpModel(Consistency.TRANSACTIONAL, Persistency.STRICT),
+        DdpModel(Consistency.EVENTUAL, Persistency.EVENTUAL),
+    ], ids=str)
+    def test_enabled_probes_stay_clean_across_models(self, model):
+        _, monitor = _monitored_run(model=model)
+        assert monitor.violations_total == 0
+
+
+# -- rigged cluster for the violation path ----------------------------------
+
+class _FakeReplica:
+    def __init__(self, key):
+        self.key = key
+        self.applied_version = (0, 0)
+        self.persisted_version = (0, 0)
+
+
+class _FakeEngine:
+    causal_buffer_len = 0
+    outstanding_write_count = 0
+    inflight_round_count = 0
+
+    def __init__(self):
+        self.replicas = [_FakeReplica(1)]
+
+
+class _FakeNvm:
+    outstanding = 0
+    banks_busy = 0
+
+
+class _FakeMemory:
+    nvm = _FakeNvm()
+
+
+class _FakeNode:
+    memory = _FakeMemory()
+
+
+class _FakeCluster:
+    def __init__(self, model):
+        self.sim = Simulator()
+        self.model = model
+        self.engines = [_FakeEngine()]
+        self.nodes = [_FakeNode()]
+
+
+class TestInvariantProbes:
+    def _rigged(self, model=None):
+        cluster = _FakeCluster(model or DdpModel(Consistency.CAUSAL,
+                                                 Persistency.SYNCHRONOUS))
+        monitor = HealthMonitor(interval_ns=10.0)
+        monitor.attach(cluster)
+        return cluster, monitor, cluster.engines[0].replicas[0]
+
+    def test_applied_regression_is_caught(self):
+        cluster, monitor, replica = self._rigged()
+        replica.applied_version = (2, 0)
+        replica.persisted_version = (2, 0)
+        cluster.sim.call_at(15.0, lambda: setattr(replica,
+                                                  "applied_version", (1, 0)))
+        cluster.sim.run(until=25.0)
+        probes = [v.probe for v in monitor.violations]
+        assert "applied_monotonic" in probes
+        violation = monitor.violations[0]
+        assert (violation.node, violation.key) == (0, 1)
+        assert "(2, 0) -> (1, 0)" in violation.detail
+
+    def test_persisted_regression_is_caught(self):
+        cluster, monitor, replica = self._rigged()
+        replica.applied_version = (3, 0)
+        replica.persisted_version = (3, 0)
+        cluster.sim.call_at(15.0, lambda: setattr(replica,
+                                                  "persisted_version",
+                                                  (2, 0)))
+        cluster.sim.run(until=25.0)
+        assert any(v.probe == "persisted_monotonic"
+                   for v in monitor.violations)
+
+    def test_persisted_ahead_of_applied_is_caught(self):
+        cluster, monitor, replica = self._rigged()
+        replica.applied_version = (1, 0)
+        replica.persisted_version = (2, 0)
+        cluster.sim.run(until=15.0)
+        assert any(v.probe == "vp_before_dp" for v in monitor.violations)
+
+    def test_disabled_probe_stays_silent(self):
+        model = DdpModel(Consistency.TRANSACTIONAL, Persistency.STRICT)
+        cluster, monitor, replica = self._rigged(model)
+        replica.applied_version = (1, 0)
+        replica.persisted_version = (5, 0)  # would violate vp_before_dp
+        cluster.sim.run(until=35.0)
+        assert monitor.violations_total == 0
+
+    def test_violations_are_bounded(self):
+        cluster, monitor, replica = self._rigged()
+        monitor.max_violations = 2
+        replica.applied_version = (1, 0)
+        replica.persisted_version = (9, 0)  # violates at every tick
+        cluster.sim.run(until=55.0)
+        assert len(monitor.violations) == 2
+        assert monitor.violations_dropped == 3
+        assert monitor.violations_total == 5
+
+    def test_violations_surface_in_samples_and_json(self):
+        cluster, monitor, replica = self._rigged()
+        replica.applied_version = (1, 0)
+        replica.persisted_version = (2, 0)
+        cluster.sim.run(until=25.0)
+        assert monitor.samples[-1].violations_total > 0
+        doc = health_json(monitor)
+        assert doc["violations"]["total"] == monitor.violations_total
+        assert doc["violations"]["events"][0]["probe"] == "vp_before_dp"
+
+
+class TestExportShaping:
+    def test_health_json_shape(self):
+        cluster, monitor = _monitored_run()
+        doc = health_json(monitor)
+        assert doc["interval_ns"] == 2_000.0
+        assert doc["samples"] == len(monitor)
+        assert doc["dropped"] == 0
+        series = doc["series"]
+        assert len(series["time_ns"]) == len(monitor)
+        assert len(series["event_queue_depth"]) == len(monitor)
+        assert set(series["per_node"]) == {"0", "1", "2"}
+        for node_series in series["per_node"].values():
+            assert set(node_series) == {"nvm_outstanding", "nvm_banks_busy",
+                                        "causal_buffer", "inflight_writes",
+                                        "inflight_rounds"}
+        assert doc["probes"] == monitor.probes
+        assert doc["top_keys"] == [[k, c]
+                                   for k, c in monitor.top_keys_total()]
+
+    def test_chrome_counter_events(self):
+        cluster, monitor = _monitored_run()
+        events = health_chrome_events(monitor)
+        kernel = [e for e in events if e["name"] == "health.kernel"]
+        pressure = [e for e in events if e["name"] == "health.pressure"]
+        assert len(kernel) == len(monitor)
+        assert len(pressure) == len(monitor) * len(cluster.nodes)
+        assert all(e["ph"] == "C" for e in kernel + pressure)
+        assert all(e["pid"] == 0 for e in kernel)
+        assert {e["pid"] for e in pressure} == {1, 2, 3}
+        # Counters ride the dedicated health lane.
+        from repro.obs.export import _lane_of
+        assert {e["tid"] for e in events} == {_lane_of("health")}
+
+    def test_violations_export_as_instants(self):
+        cluster = _FakeCluster(DdpModel(Consistency.CAUSAL,
+                                        Persistency.SYNCHRONOUS))
+        monitor = HealthMonitor(interval_ns=10.0)
+        monitor.attach(cluster)
+        replica = cluster.engines[0].replicas[0]
+        replica.applied_version = (1, 0)
+        replica.persisted_version = (2, 0)
+        cluster.sim.run(until=15.0)
+        instants = [e for e in health_chrome_events(monitor)
+                    if e["name"] == "health_violation"]
+        assert instants
+        assert instants[0]["ph"] == "i"
+        assert instants[0]["args"]["probe"] == "vp_before_dp"

@@ -5,7 +5,9 @@ import math
 
 from repro.analysis.metrics import Metrics, OpRecord
 from repro.analysis.points import PointsTracker
-from repro.obs import KernelProfile, build_run_report, write_run_report
+from repro.analysis.waterfall import aggregate_journeys
+from repro.obs import (KernelProfile, build_run_report, config_fingerprint,
+                       write_run_report)
 from repro.obs.report import SCHEMA, _clean
 from repro.sim.trace import Tracer
 
@@ -112,3 +114,80 @@ class TestBuildRunReport:
         report = build_run_report(summary, metrics, 100.0)
         text = json.dumps(report, allow_nan=False)  # must not raise
         assert not math.isnan(len(text))
+
+    def test_health_section_folds_in_from_a_monitor(self):
+        from repro.cluster.cluster import Cluster
+        from repro.cluster.config import ClusterConfig
+        from repro.core.model import Consistency, DdpModel, Persistency
+        from repro.obs import HealthMonitor
+        from repro.workload.ycsb import WORKLOADS
+
+        monitor = HealthMonitor(interval_ns=2_000.0)
+        metrics = Metrics(window_ns=10_000.0)
+        cluster = Cluster(
+            DdpModel(Consistency.CAUSAL, Persistency.SYNCHRONOUS),
+            config=ClusterConfig(servers=3, clients_per_server=3, seed=2021),
+            workload=WORKLOADS["A"], metrics=metrics, monitor=monitor)
+        summary = cluster.run(40_000.0, warmup_ns=4_000.0)
+        report = build_run_report(summary, metrics, 10_000.0,
+                                  monitor=monitor)
+        health = report["health"]
+        assert health["samples"] == len(monitor) > 0
+        assert health["violations"]["total"] == 0
+        assert set(health["series"]["per_node"]) == {"0", "1", "2"}
+        json.dumps(report, allow_nan=False)  # strict JSON
+
+    def test_journey_dropped_counter_surfaces_in_report(self):
+        """A sampling-capped JourneyTracker reports what it lost
+        (journeys.dropped) so waterfall numbers are never silently
+        partial."""
+        from repro.cluster.cluster import run_simulation
+        from repro.cluster.config import ClusterConfig
+        from repro.core.model import Consistency, DdpModel, Persistency
+        from repro.obs import JourneyTracker
+        from repro.workload.ycsb import WORKLOADS
+
+        tracker = JourneyTracker(3, max_journeys=5)
+        metrics = Metrics(window_ns=10_000.0)
+        summary = run_simulation(
+            DdpModel(Consistency.CAUSAL, Persistency.SYNCHRONOUS),
+            WORKLOADS["A"],
+            config=ClusterConfig(servers=3, clients_per_server=3, seed=2021),
+            duration_ns=40_000.0, warmup_ns=4_000.0,
+            tracer=tracker, metrics=metrics)
+        assert tracker.dropped > 0
+        waterfall = aggregate_journeys(tracker.journeys, 3, label="capped",
+                                       dropped=tracker.dropped)
+        report = build_run_report(summary, metrics, 10_000.0,
+                                  journeys=waterfall)
+        assert report["journeys"]["journeys"] == 5
+        assert report["journeys"]["dropped"] == tracker.dropped
+
+
+class TestConfigFingerprint:
+    def test_stable_and_order_insensitive(self):
+        a = config_fingerprint({"model": "<Causal, Synchronous>",
+                                "servers": 5, "workload": "A"})
+        b = config_fingerprint({"workload": "A", "servers": 5,
+                                "model": "<Causal, Synchronous>"})
+        assert a == b
+        assert len(a) == 16  # blake2b digest_size=8, hex
+
+    def test_different_configs_differ(self):
+        base = {"model": "<Causal, Synchronous>", "servers": 5}
+        assert config_fingerprint(base) != \
+            config_fingerprint(dict(base, servers=7))
+
+    def test_non_json_values_hash_via_clean(self):
+        from repro.core.model import Consistency
+
+        # Non-JSON values stringify deterministically before hashing.
+        assert config_fingerprint({"consistency": Consistency.CAUSAL}) == \
+            config_fingerprint({"consistency": str(Consistency.CAUSAL)})
+
+    def test_pinned_digest(self):
+        # A process-salted ingredient sneaking in would fail this on
+        # every run (the PR-1 builtin-hash lesson).
+        assert config_fingerprint({"servers": 5, "workload": "A"}) == \
+            config_fingerprint({"servers": 5, "workload": "A"})
+        assert config_fingerprint({}) == "01e7b720ff566d53"

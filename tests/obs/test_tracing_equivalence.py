@@ -17,8 +17,8 @@ from repro.analysis.points import PointsTracker
 from repro.cluster.cluster import Cluster
 from repro.cluster.config import ClusterConfig
 from repro.core.model import Consistency, DdpModel, Persistency
-from repro.obs import (FanoutTracer, JourneyTracker, KernelProfile,
-                       write_chrome_trace)
+from repro.obs import (FanoutTracer, HealthMonitor, JourneyTracker,
+                       KernelProfile, write_chrome_trace)
 from repro.sim.trace import Tracer
 from repro.workload.ycsb import WORKLOADS
 
@@ -29,10 +29,10 @@ MODELS = [
 ]
 
 
-def _run(model, tracer=None, profile=None, seed=2021):
+def _run(model, tracer=None, profile=None, monitor=None, seed=2021):
     config = ClusterConfig(servers=3, clients_per_server=3, seed=seed)
     cluster = Cluster(model, config=config, workload=WORKLOADS["A"],
-                      tracer=tracer, profile=profile)
+                      tracer=tracer, profile=profile, monitor=monitor)
     summary = cluster.run(40_000.0, warmup_ns=4_000.0)
     stores = [
         {replica.key: (replica.applied_version, replica.applied_value,
@@ -69,6 +69,40 @@ class TestTracingDoesNotPerturb:
             pytest.approx(dataclasses.asdict(summary_on), nan_ok=True)
         assert stores_off == stores_on
         assert cluster_off.sim.now == cluster_on.sim.now
+
+    @pytest.mark.parametrize("model", MODELS, ids=str)
+    def test_health_monitoring_does_not_perturb(self, model):
+        """A monitored run reproduces the unmonitored run exactly.
+
+        The monitor schedules its own ticks on the simulation clock, so
+        this is the strongest non-perturbation claim in the suite: extra
+        kernel events may consume sequence numbers but must not reorder
+        or retime anyone else's."""
+        cluster_off, summary_off, stores_off = _run(model)
+        monitor = HealthMonitor(interval_ns=2_000.0)
+        cluster_on, summary_on, stores_on = _run(model, monitor=monitor)
+        assert len(monitor) > 0, "monitor never sampled; wiring is broken"
+        assert dataclasses.asdict(summary_off) == \
+            pytest.approx(dataclasses.asdict(summary_on), nan_ok=True)
+        assert stores_off == stores_on
+        assert cluster_off.sim.now == cluster_on.sim.now
+
+    def test_health_monitoring_trace_byte_identical(self, tmp_path):
+        """The trace a monitored run records is byte-for-byte the trace
+        an unmonitored run records — monitoring changes nothing the
+        tracer can see (the acceptance bar for `--health`)."""
+        model = DdpModel(Consistency.CAUSAL, Persistency.SYNCHRONOUS)
+        contents = []
+        for monitored in (False, True):
+            tracer = Tracer()
+            monitor = (HealthMonitor(interval_ns=2_000.0)
+                       if monitored else None)
+            _run(model, tracer=tracer, monitor=monitor)
+            path = tmp_path / f"m{monitored}.json"
+            write_chrome_trace(str(path), tracer.records,
+                               dropped=tracer.dropped)
+            contents.append(path.read_bytes())
+        assert contents[0] == contents[1]
 
     def test_profiling_does_not_perturb(self):
         model = MODELS[1]
