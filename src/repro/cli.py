@@ -6,6 +6,10 @@ Subcommands:
   ``--trace-out`` / ``--metrics-out`` / ``--profile`` additionally emit
   a Chrome-trace JSON (open in Perfetto), a run-report JSON (windowed
   throughput/latency and VP/DP-lag series), and kernel profile counters.
+  ``--faults PLAN.json`` / ``--crash NODE@T_US[+RESTART_US]`` inject
+  deterministic faults (crashes, message loss, partitions, NVM
+  slowdowns; see :mod:`repro.faults`) and validate the model's
+  durability contracts after the run — exit code 1 on a violation.
 * ``trace`` — run one model and dump its timeline: writes the
   Chrome-trace file and prints a category summary plus the first records.
 * ``journey`` — per-update critical-path waterfalls: where each write's
@@ -30,6 +34,8 @@ Examples::
     python -m repro.cli run --consistency causal --persistency synchronous
     python -m repro.cli run --trace-out t.json --metrics-out m.json --profile
     python -m repro.cli run --health --metrics-out report.json
+    python -m repro.cli run --crash 2@50+40 --metrics-out report.json
+    python -m repro.cli run --faults chaos.json --trace-out t.json
     python -m repro.cli trace --consistency causal --persistency eventual
     python -m repro.cli trace t.json            # re-open a saved trace
     python -m repro.cli journey --consistency linearizable --slowest 3
@@ -58,6 +64,8 @@ from repro.cluster.config import ClusterConfig
 from repro.core.model import Consistency, DdpModel, Persistency, all_ddp_models
 from repro.core.tradeoffs import analyze_all
 from repro.devtools.cli import add_lint_parser, cmd_lint
+from repro.faults import (FaultInjector, load_fault_plan,
+                          plan_from_crash_specs, validate_faulty_run)
 from repro.obs import (
     DiffError,
     FanoutTracer,
@@ -234,7 +242,7 @@ class _Observability:
                               else FanoutTracer(sinks) if sinks else None)
 
     def finalize(self, args, model: DdpModel, summary, duration_ns: float,
-                 warmup_ns: float) -> None:
+                 warmup_ns: float, faults=None) -> None:
         """Write the requested artifacts after the run."""
         if self.jsonl is not None:
             self.jsonl.close()
@@ -262,7 +270,8 @@ class _Observability:
                                       profile=self.profile,
                                       tracer=self.tracer,
                                       journeys=waterfall,
-                                      monitor=self.monitor)
+                                      monitor=self.monitor,
+                                      faults=faults)
             write_run_report(args.metrics_out, report)
             print(f"metrics  -> {args.metrics_out} "
                   f"(window {args.metrics_window_us:g} us)")
@@ -272,7 +281,8 @@ class _Observability:
                                       profile=self.profile,
                                       tracer=self.tracer,
                                       journeys=waterfall,
-                                      monitor=self.monitor)
+                                      monitor=self.monitor,
+                                      faults=faults)
             write_run_report(args.journey_out, report)
             print(f"journeys -> {args.journey_out} "
                   f"({len(self.journey)} tracked, "
@@ -301,6 +311,17 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=[p.value for p in Persistency])
     _add_common(run_parser)
     _add_observability(run_parser)
+    run_parser.add_argument("--faults", metavar="PLAN.json", default=None,
+                            help="inject the faults described in a JSON "
+                                 "plan (crashes, drops, delays, "
+                                 "duplicates, partitions, NVM slowdowns) "
+                                 "and validate durability contracts "
+                                 "afterwards")
+    run_parser.add_argument("--crash", metavar="NODE@T_US[+RESTART_US]",
+                            action="append", default=None,
+                            help="crash a node at a time (us), optionally "
+                                 "restarting it after RESTART_US more; "
+                                 "repeatable; combines with --faults")
 
     trace_parser = subparsers.add_parser(
         "trace", help="run one model and dump its event timeline")
@@ -355,7 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="track every Nth write (default: 1)")
     journey_parser.add_argument("--journey-out", metavar="PATH", default=None,
                                 help="write the run-report JSON "
-                                     "(repro.run_report/3) with the "
+                                     "(repro.run_report/4) with the "
                                      "journeys section (single model only)")
 
     diff_parser = subparsers.add_parser(
@@ -402,25 +423,75 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _faults_from(args) -> Optional[FaultInjector]:
+    """Build the injector requested by ``--faults`` / ``--crash``."""
+    plan = None
+    if getattr(args, "faults", None):
+        try:
+            plan = load_fault_plan(args.faults)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro: bad fault plan {args.faults}: {exc}")
+    if getattr(args, "crash", None):
+        crash_plan = plan_from_crash_specs(args.crash, seed=args.seed)
+        if plan is None:
+            plan = crash_plan
+        else:
+            import dataclasses
+            plan = dataclasses.replace(
+                plan, events=tuple(sorted(plan.events + crash_plan.events,
+                                          key=lambda e: (e.at_ns, e.kind))))
+    return FaultInjector(plan) if plan is not None else None
+
+
+def _print_fault_outcome(cluster, injector) -> int:
+    """Fault/recovery summary + contract validation; returns exit code."""
+    network = cluster.network
+    resends = sum(e.round_resends for e in cluster.engines)
+    retargeted = sum(e.rounds_retargeted for e in cluster.engines)
+    print(f"\nfaults   :  crashes={injector.crashes} "
+          f"detections={injector.detections} restarts={injector.restarts} "
+          f"txns-abandoned={injector.txns_abandoned}")
+    print(f"network  :  dropped={network.dropped_messages} "
+          f"delayed={network.delayed_messages} "
+          f"duplicated={network.duplicated_messages}")
+    print(f"rounds   :  resends={resends} retargeted={retargeted} "
+          f"epoch={cluster.membership.epoch} "
+          f"live={sorted(cluster.membership.live)}")
+    failed = False
+    for result in validate_faulty_run(cluster):
+        status = "ok" if result.ok else "VIOLATED"
+        print(f"check    :  {result.name:28s} {status}")
+        for violation in result.violations[:5]:
+            print(f"            {violation}")
+        if len(result.violations) > 5:
+            print(f"            ... and {len(result.violations) - 5} more")
+        failed = failed or not result.ok
+    return 1 if failed else 0
+
+
 def _cmd_run(args) -> int:
     model = _model_from(args)
     duration = args.duration_us * 1000.0
     warmup = duration / 10
     obs = _Observability(args)
-    summary = run_simulation(model, WORKLOADS[args.workload],
-                             config=_config_from(args),
-                             duration_ns=duration,
-                             warmup_ns=warmup,
-                             tracer=obs.engine_tracer,
-                             metrics=obs.metrics,
-                             profile=obs.profile,
-                             monitor=obs.monitor)
+    injector = _faults_from(args)
+    cluster = Cluster(model, config=_config_from(args),
+                      workload=WORKLOADS[args.workload],
+                      tracer=obs.engine_tracer,
+                      metrics=obs.metrics,
+                      profile=obs.profile,
+                      monitor=obs.monitor,
+                      faults=injector)
+    summary = cluster.run(duration, warmup_ns=warmup)
     print(format_summary_table([(str(model), summary)]))
     print(f"\npersists={summary.persists}  messages={summary.total_messages}"
           f"  causal-buffer-peak={summary.causal_buffer_peak}"
           f"  txn-conflicts={summary.txn_conflicts}")
-    obs.finalize(args, model, summary, duration, warmup)
-    return 0
+    exit_code = 0
+    if injector is not None:
+        exit_code = _print_fault_outcome(cluster, injector)
+    obs.finalize(args, model, summary, duration, warmup, faults=injector)
+    return exit_code
 
 
 def _load_trace_file(path: str) -> dict:

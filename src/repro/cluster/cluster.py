@@ -15,10 +15,12 @@ from typing import List, Optional
 from repro.analysis.metrics import Metrics, Summary
 from repro.cluster.config import ClusterConfig
 from repro.cluster.node import Node
+from repro.core.membership import Membership
 from repro.core.model import DdpModel
 from repro.net.network import Network
 from repro.net.rdma import RdmaFabric
 from repro.recovery.log import NvmLog
+from repro.recovery.recovery import recover_latest
 from repro.sim.engine import Simulator
 from repro.sim.rng import SeededStream
 from repro.txn.manager import TxnTable
@@ -34,7 +36,7 @@ class Cluster:
     def __init__(self, model: DdpModel, config: Optional[ClusterConfig] = None,
                  workload: Optional[WorkloadSpec] = None, tracer=None,
                  version_board=None, metrics: Optional[Metrics] = None,
-                 profile=None, monitor=None):
+                 profile=None, monitor=None, faults=None):
         self.model = model
         self.config = config or ClusterConfig()
         self.workload = workload
@@ -50,11 +52,15 @@ class Cluster:
         self.rdma = RdmaFabric(self.sim, self.network)
         self.txn_table = TxnTable()
         self.nvm_log = NvmLog(range(self.config.servers))
+        # Membership exists only for fault-injected runs: without it the
+        # engines arm no round watchdogs and keep exact seed behavior.
+        self.membership = (Membership(range(self.config.servers))
+                           if faults is not None else None)
         self.nodes: List[Node] = [
             Node(self.sim, node_id, self.config, model, self.network,
                  self.rdma, self.metrics, self.txn_table,
                  self.rng, nvm_log=self.nvm_log, tracer=tracer,
-                 version_board=version_board)
+                 version_board=version_board, membership=self.membership)
             for node_id in range(self.config.servers)
         ]
         self.clients: List[Client] = []
@@ -65,16 +71,22 @@ class Cluster:
             # Attached last so the monitor sees the fully-built cluster;
             # it samples on the simulation clock from here on.
             monitor.attach(self)
+        self.faults = faults
+        if faults is not None:
+            # After the monitor, so fault events land on an otherwise
+            # fully-assembled cluster.
+            faults.attach(self)
 
     def _build_clients(self, workload: WorkloadSpec) -> None:
         client_id = 0
+        record_ops = self.membership is not None
         for node in self.nodes:
             for _ in range(self.config.clients_per_server):
                 stream = RequestStream(
                     workload, self.rng.fork(f"client{client_id}"))
                 self.clients.append(
                     Client(self.sim, client_id, node.engine, stream,
-                           self.metrics))
+                           self.metrics, record_ops=record_ops))
                 client_id += 1
 
     # -- running --------------------------------------------------------------------
@@ -114,6 +126,31 @@ class Cluster:
     def crash_node(self, node_id: int) -> None:
         self.nodes[node_id].crash()
 
+    def fail_node(self, node_id: int) -> None:
+        """Mid-run node failure: crash the node and cut its clients off.
+
+        Each of the node's client processes is interrupted (a client of
+        a dead server cannot make progress; its in-flight operation is
+        abandoned mid-protocol).  Membership detection is *not* part of
+        this call — the fault injector schedules it separately after the
+        plan's detection delay, modeling the failure-detector lag.
+        """
+        self.nodes[node_id].crash()
+        for client in self.clients:
+            if (client.node.node_id == node_id
+                    and client.process is not None
+                    and client.process.is_alive):
+                client.process.interrupt("node crashed")
+
+    def restart_node(self, node_id: int) -> None:
+        """Recover a crashed node from its own durable image and
+        reconnect its clients (fresh sessions)."""
+        recovered = recover_latest(self.nvm_log, [node_id])
+        self.nodes[node_id].restart(recovered.entries)
+        for client in self.clients:
+            if client.node.node_id == node_id:
+                client.restart()
+
     @property
     def engines(self):
         return [node.engine for node in self.nodes]
@@ -124,7 +161,7 @@ def run_simulation(model: DdpModel, workload: WorkloadSpec,
                    duration_ns: float = 300_000.0,
                    warmup_ns: float = 30_000.0,
                    tracer=None, metrics: Optional[Metrics] = None,
-                   profile=None, monitor=None) -> Summary:
+                   profile=None, monitor=None, faults=None) -> Summary:
     """Build, run, and summarize one experiment.
 
     The defaults (300 us measured window after 30 us warmup) keep single
@@ -132,8 +169,10 @@ def run_simulation(model: DdpModel, workload: WorkloadSpec,
     of a hundred completed requests under the fastest models.
     ``tracer`` / ``metrics`` / ``profile`` / ``monitor`` plug in
     observability sinks (see :mod:`repro.obs`) without changing the run.
+    ``faults`` takes a :class:`repro.faults.FaultInjector`; with an
+    empty plan the run is also unchanged (see :mod:`repro.faults`).
     """
     cluster = Cluster(model, config=config, workload=workload,
                       tracer=tracer, metrics=metrics, profile=profile,
-                      monitor=monitor)
+                      monitor=monitor, faults=faults)
     return cluster.run(duration_ns, warmup_ns)

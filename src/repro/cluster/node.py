@@ -24,7 +24,7 @@ class Node:
                  model: DdpModel, network: Network, rdma: RdmaFabric,
                  metrics: Metrics, txn_table: TxnTable,
                  rng: SeededStream, nvm_log=None, tracer=None,
-                 version_board=None):
+                 version_board=None, membership=None):
         self.sim = sim
         self.node_id = node_id
         self.config = config
@@ -41,7 +41,7 @@ class Node:
             sim, node_id, peer_ids, network, self.nic, self.memory,
             model, metrics, config=config.protocol, txn_table=txn_table,
             store=self.store, nvm_log=nvm_log, tracer=tracer,
-            version_board=version_board)
+            version_board=version_board, membership=membership)
 
     def start(self) -> None:
         self.engine.start()
@@ -49,6 +49,11 @@ class Node:
     def crash(self) -> None:
         """Lose all volatile state; only the NVM image survives."""
         self.engine.crash()
+
+    def restart(self, recovered_entries) -> None:
+        """Rebuild volatile state from this node's durable image and
+        rejoin (see :meth:`repro.core.engine.ProtocolNode.restart`)."""
+        self.engine.restart(recovered_entries)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Node({self.node_id}, model={self.engine.model})"

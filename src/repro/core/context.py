@@ -39,6 +39,10 @@ class ClientContext:
         # Version returned by the session's most recent read (set by the
         # engine; used by session-guarantee validation and recorders).
         self.last_read_version: Version = (0, -1)
+        # Version assigned to the session's most recent completed write
+        # (set by the engine; used by crash-contract recorders to know
+        # which versions the client was acknowledged for).
+        self.last_write_version: Version = (0, -1)
         # Leader-variant forwarding provenance, set (under tracing) by
         # the origin node before handing the write to the leader and
         # consumed by the leader's _do_write so journey records can

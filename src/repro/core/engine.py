@@ -47,12 +47,13 @@ from repro.core.policies import (
 from repro.core.replica import KeyReplica, ReplicaTable, Version
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.net.network import Network, Nic
-from repro.sim.engine import Simulator
-from repro.sim.sync import Latch, Resource
+from repro.core.membership import Membership
+from repro.sim.engine import Event, Simulator
+from repro.sim.sync import Resource
 from repro.sim.trace import NullTracer
 from repro.txn.manager import Txn, TxnTable
 
-__all__ = ["ProtocolConfig", "ProtocolNode"]
+__all__ = ["AckRound", "ProtocolConfig", "ProtocolNode"]
 
 
 @dataclass(frozen=True)
@@ -99,6 +100,75 @@ class ProtocolConfig:
     coordinator messages follower-by-follower (each send starts once the
     previous one is delivered), modeling a sequential-visit chain."""
 
+    round_timeout_ns: float = 12_000.0
+    """Fault tolerance: how long a coordinator round (INV/UPD acks,
+    INITX/ENDX, PERSIST) may sit incomplete before its watchdog
+    re-evaluates it against the live membership.  Only armed when a
+    :class:`~repro.core.membership.Membership` is attached (i.e. under
+    fault injection); failure-free runs never create these timers."""
+
+    round_max_retries: int = 8
+    """Fault tolerance: maximum times a round's message is resent to
+    laggard replicas.  Resends only happen when the fault plan can lose
+    messages (``membership.lossy``); pure crash faults are handled by
+    retargeting alone."""
+
+    round_retry_backoff_ns: float = 4_000.0
+    """Fault tolerance: extra delay added to the round watchdog per
+    retry already spent (linear backoff, capped at 8 steps)."""
+
+
+class AckRound:
+    """An ACK-collection round over an explicit replica set.
+
+    Replaces a bare countdown (:class:`~repro.sim.sync.Latch`) for
+    coordinator rounds so the round can survive faults:
+
+    * arrivals are deduplicated by source, so resent or duplicated ACKs
+      (message-duplication faults, round retries) are harmless instead
+      of a latch overrun;
+    * :meth:`retarget` shrinks the expected set when membership changes,
+      completing the round if only crashed replicas are missing.
+
+    In a failure-free run the event triggers at exactly the moment the
+    equivalent latch would have — same arrival, same kernel scheduling —
+    so attaching fault machinery does not perturb healthy runs.
+    """
+
+    __slots__ = ("sim", "targets", "acked", "event")
+
+    def __init__(self, sim: Simulator, targets):
+        self.sim = sim
+        self.targets = set(targets)
+        self.acked: set = set()
+        self.event = sim.event()
+        if not self.targets:
+            self.event.succeed()
+
+    @property
+    def satisfied(self) -> bool:
+        return self.targets <= self.acked
+
+    @property
+    def missing(self) -> List[int]:
+        """Targets not yet heard from, in node-id order."""
+        return sorted(self.targets - self.acked)
+
+    def ack(self, src: int) -> None:
+        """Record an ACK from ``src`` (idempotent)."""
+        self.acked.add(src)
+        if self.satisfied and not self.event.triggered:
+            self.event.succeed()
+
+    def retarget(self, live) -> None:
+        """Drop targets no longer in ``live``; fire if now satisfied."""
+        self.targets = {t for t in self.targets if t in live}
+        if self.satisfied and not self.event.triggered:
+            self.event.succeed()
+
+    def wait(self) -> Event:
+        return self.event
+
 
 @dataclass
 class _WriteOp:
@@ -108,8 +178,8 @@ class _WriteOp:
     key: int
     version: Version
     value: Any
-    ack_c: Latch
-    ack_p: Optional[Latch] = None
+    ack_c: AckRound
+    ack_p: Optional[AckRound] = None
     txn_id: Optional[int] = None
     scope_id: Optional[int] = None
 
@@ -119,7 +189,7 @@ class _RoundOp:
     """Coordinator-side state for an INITX / ENDX / PERSIST round."""
 
     op_id: int
-    acks: Latch
+    acks: AckRound
 
 
 class ProtocolNode:
@@ -150,7 +220,8 @@ class ProtocolNode:
                  config: Optional[ProtocolConfig] = None,
                  txn_table: Optional[TxnTable] = None,
                  store: Any = None, nvm_log: Any = None, tracer: Any = None,
-                 version_board: Any = None):
+                 version_board: Any = None,
+                 membership: Optional[Membership] = None):
         self.sim = sim
         self.node_id = node_id
         self.peer_ids = list(peer_ids)
@@ -186,6 +257,14 @@ class ProtocolNode:
         self._txn_invs: Dict[int, List[Tuple[int, int]]] = {}
         self._alive = True
         self._dispatcher = None
+        # Fault tolerance (None in failure-free runs: no timers armed,
+        # no epoch bookkeeping — exact seed behavior).
+        self.membership = membership
+        self.round_resends = 0
+        self.rounds_retargeted = 0
+        self.orphans_absorbed = 0
+        if membership is not None:
+            membership.subscribe(node_id, self._on_membership_change)
         # Bound once here instead of building a dict literal per
         # inbound message in _handle_message.
         self._handlers = {msg_type: getattr(self, name)
@@ -208,6 +287,50 @@ class ProtocolNode:
         """
         self._alive = False
 
+    @property
+    def alive(self) -> bool:
+        """False between ``crash()`` and ``restart()``."""
+        return self._alive
+
+    def restart(self, recovered_entries: Dict[int, Tuple[Version, Any]]) -> None:
+        """Rejoin after a crash, seeded from the node's durable image.
+
+        ``recovered_entries`` is ``RecoveredState.entries`` from
+        :func:`repro.recovery.recovery.recover_latest` over this node's
+        NVM log: each surviving key is re-applied and marked persisted
+        (it *is* durable — that is where it came from).  All volatile
+        protocol state — outstanding rounds, causal buffers, transient
+        invalidation markers, follower txn bookkeeping — is discarded;
+        the writes those tracked either completed elsewhere or belong to
+        coordinators that will retarget around this node's absence.
+        Anything newer than the durable image is simply lost (the crash
+        contract) and catches up through later INV/UPD traffic.
+
+        The inbound dispatcher keeps running across the outage (it drops
+        messages while ``crash()`` holds ``_alive`` false), so flipping
+        the flag back is all the "reboot" the message plane needs.
+        Queued worker admissions abandoned by interrupted clients are
+        reaped by :meth:`~repro.sim.sync.Resource.release` as grants
+        reach them, so capacity is not leaked across the restart.
+        """
+        observer = self._replica_event if self.tracer.enabled else None
+        self.replicas = ReplicaTable(self.sim, self.node_id,
+                                     observer=observer)
+        self._outstanding_writes.clear()
+        self._outstanding_rounds.clear()
+        self._causal_waiting.clear()
+        self._causal_waiting_count = 0
+        self._txn_invs.clear()
+        for key in sorted(recovered_entries):
+            version, value = recovered_entries[key]
+            replica = self.replicas.get(key)
+            replica.apply(version, value)
+            replica.mark_persisted(version, value)
+            replica.persist_requested = version
+            if self.store is not None:
+                self.store.put(key, value)
+        self._alive = True
+
     def _dispatch_loop(self) -> Generator:
         while True:
             message = yield self.nic.receive()
@@ -221,8 +344,24 @@ class ProtocolNode:
     # ------------------------------------------------------------------
 
     def _next_op_id(self) -> int:
+        # The coordinator's node id rides in the low bits (op_id % 1024),
+        # so followers can attribute any transient marker to the node
+        # that coordinates it — which is how crash cleanup finds the
+        # orphans of a dead coordinator without extra bookkeeping.
         self._op_counter += 1
         return self._op_counter * 1024 + self.node_id
+
+    @property
+    def active_peers(self) -> List[int]:
+        """Peers a new round targets: all of them in failure-free runs,
+        the membership's live subset under fault injection.  A crashed
+        but not-yet-detected peer is still targeted — the round then
+        waits out the detection delay before retargeting, which is the
+        failure-handling latency the membership approach models."""
+        if self.membership is None:
+            return self.peer_ids
+        live = self.membership.live
+        return [p for p in self.peer_ids if p in live]
 
     def _replica_event(self, kind: str, key: int, version: Version) -> None:
         """Forward replica apply/persist advances to the tracer (used by
@@ -244,12 +383,13 @@ class ProtocolNode:
                              **details)
         self.network.send(self.node_id, dst, message, message.size_bytes)
 
-    def _broadcast(self, message: Message, lazy: bool = False) -> None:
+    def _broadcast(self, message: Message, lazy: bool = False,
+                   targets: Optional[List[int]] = None) -> None:
         if self.config.chain_propagation:
             self.sim.process(self._chain_send(message, lazy),
                              name=f"n{self.node_id}.chain")
             return
-        for dst in self.peer_ids:
+        for dst in (self.active_peers if targets is None else targets):
             self._send(dst, message, lazy)
 
     def _chain_send(self, message: Message, lazy: bool = False) -> Generator:
@@ -381,6 +521,110 @@ class ProtocolNode:
                                               trigger=trigger)
 
         return self.sim.process(runner(), name=f"n{self.node_id}.bgpersist")
+
+    # ------------------------------------------------------------------
+    # fault tolerance: round watchdogs and membership changes
+    # ------------------------------------------------------------------
+
+    def _arm_round_watchdog(self, round_: AckRound,
+                            message: Message) -> None:
+        """Bound a coordination round's exposure to faults.
+
+        Deliberately out-of-band: the coordinator keeps waiting directly
+        on the round's event (identical kernel scheduling to the
+        failure-free engine), while a periodic ``call_at`` callback
+        re-checks the round from the side.  Each check retargets the
+        round against the live membership (completing it if only dead
+        replicas are missing) and — when the fault plan can lose
+        messages — resends ``message`` to the laggards, with linear
+        backoff and a bounded retry budget.  Checks on completed rounds
+        are no-ops and do not re-arm, so a healthy run's watchdogs never
+        touch anything.
+        """
+        if self.membership is None:
+            return
+        state = {"attempt": 0}
+
+        def check() -> None:
+            if round_.event.triggered or not self._alive:
+                return
+            before = len(round_.targets)
+            round_.retarget(self.membership.live)
+            if len(round_.targets) != before:
+                self.rounds_retargeted += 1
+            if round_.event.triggered:
+                return
+            if (self.membership.lossy
+                    and state["attempt"] < self.config.round_max_retries):
+                state["attempt"] += 1
+                self.round_resends += 1
+                for dst in round_.missing:
+                    self._send(dst, message)
+            backoff = (self.config.round_timeout_ns
+                       + self.config.round_retry_backoff_ns
+                       * min(state["attempt"], 8))
+            self.sim.call_at(self.sim.now + backoff, check)
+
+        self.sim.call_at(self.sim.now + self.config.round_timeout_ns, check)
+
+    def _on_membership_change(self, kind: str, node_id: int,
+                              epoch: int) -> None:
+        """React to a membership epoch: re-issue every outstanding round
+        against the live replica set, and release transient state left
+        behind by a crashed coordinator."""
+        if node_id == self.node_id or not self._alive or kind != "crash":
+            # A join needs nothing from existing rounds: they never
+            # re-add a replica that was dropped mid-round, and new
+            # rounds pick the wider live set up via ``active_peers``.
+            return
+        live = self.membership.live
+        for op_id in sorted(self._outstanding_writes):
+            op = self._outstanding_writes[op_id]
+            op.ack_c.retarget(live)
+            if op.ack_p is not None:
+                op.ack_p.retarget(live)
+        for op_id in sorted(self._outstanding_rounds):
+            self._outstanding_rounds[op_id].acks.retarget(live)
+        self._abandon_remote_coordinator(node_id)
+
+    def _abandon_remote_coordinator(self, crashed: int) -> None:
+        """Follower-side cleanup when a coordinator dies.
+
+        Every transient invalidation the dead node left behind is
+        released (its origin is recoverable from the op id's low bits),
+        so reads and conflicting writers stop waiting for VALs that will
+        never come.  The applied value stays: the coordinator broadcast
+        its INV before crashing, so all live replicas hold the same
+        last-writer-wins outcome.  Under dual-ACK persistency the
+        VAL_p will never come either, so the follower persists the
+        applied value itself and settles cluster durability locally —
+        the value is then recoverable from this node's log, preserving
+        the read-durability contract.  Transactions coordinated by the
+        dead node are dropped from the follower's bookkeeping; the
+        shared transaction table is cleaned up once, by the injector.
+        """
+        for key in sorted(self.replicas.keys()):
+            replica = self.replicas.get(key)
+            orphaned = [op_id for op_id in sorted(replica.inflight_invs)
+                        if op_id % 1024 == crashed]
+            for op_id in orphaned:
+                replica.end_inv(op_id)
+            if orphaned and self.ppolicy.dual_acks:
+                self.orphans_absorbed += 1
+                self.sim.process(self._absorb_orphan(replica),
+                                 name=f"n{self.node_id}.orphan")
+        for txn_id in sorted(self._txn_invs):
+            entries = self._txn_invs[txn_id]
+            if any(op_id % 1024 == crashed for _key, op_id in entries):
+                del self._txn_invs[txn_id]
+
+    def _absorb_orphan(self, replica: KeyReplica) -> Generator:
+        """Persist an orphaned applied value and settle its durability
+        signal locally (the dead coordinator's VAL_p never arrives)."""
+        version, value = replica.applied_version, replica.applied_value
+        yield from self._ensure_persisted(replica, version, value,
+                                          trigger="eager")
+        replica.mark_cluster_persisted(version)
 
     # ------------------------------------------------------------------
     # client API: reads
@@ -525,6 +769,7 @@ class ProtocolNode:
             ctx.observe(key, version)
         if self.ppolicy.persist_mode is PersistMode.ON_SCOPE_END:
             ctx.record_scope_write(key, version)
+        ctx.last_write_version = version
         if self.tracer.enabled:
             self.tracer.emit(self.sim.now, "write_complete",
                              node=self.node_id, key=key, version=version)
@@ -540,11 +785,12 @@ class ProtocolNode:
                     if self.ppolicy.persist_mode is PersistMode.ON_SCOPE_END
                     else None)
 
+        targets = self.active_peers
         op = _WriteOp(op_id=op_id, key=replica.key, version=version,
-                      value=value, ack_c=Latch(self.sim, len(self.peer_ids)),
+                      value=value, ack_c=AckRound(self.sim, targets),
                       txn_id=txn_id, scope_id=scope_id)
         if self.ppolicy.dual_acks:
-            op.ack_p = Latch(self.sim, len(self.peer_ids))
+            op.ack_p = AckRound(self.sim, targets)
         self._outstanding_writes[op_id] = op
 
         replica.begin_inv(op_id)
@@ -556,9 +802,13 @@ class ProtocolNode:
         else:
             replica.apply(version, value)
 
-        self._broadcast(Message(MsgType.INV, src=self.node_id, op_id=op_id,
-                                key=replica.key, version=version, value=value,
-                                scope_id=scope_id, txn_id=txn_id))
+        inv = Message(MsgType.INV, src=self.node_id, op_id=op_id,
+                      key=replica.key, version=version, value=value,
+                      scope_id=scope_id, txn_id=txn_id)
+        self._broadcast(inv, targets=targets)
+        self._arm_round_watchdog(op.ack_c, inv)
+        if op.ack_p is not None:
+            self._arm_round_watchdog(op.ack_p, inv)
 
         strict = self.ppolicy.write_waits_for_persist_everywhere
         inline_persist = (self.ppolicy.persist_mode is PersistMode.INLINE
@@ -698,11 +948,13 @@ class ProtocolNode:
         if strict:
             # Strict persistency: the write completes only once durable
             # at every replica, so propagation cannot be lazy.
+            targets = self.active_peers
             op = _WriteOp(op_id=op_id, key=replica.key, version=version,
-                          value=value, ack_c=Latch(self.sim, 0),
-                          ack_p=Latch(self.sim, len(self.peer_ids)))
+                          value=value, ack_c=AckRound(self.sim, ()),
+                          ack_p=AckRound(self.sim, targets))
             self._outstanding_writes[op_id] = op
-            self._broadcast(message)
+            self._broadcast(message, targets=targets)
+            self._arm_round_watchdog(op.ack_p, message)
             yield from self._ensure_persisted(replica, version, value,
                                               trigger="strict")
             yield op.ack_p.wait()
@@ -721,9 +973,10 @@ class ProtocolNode:
         elif self.ppolicy.persist_mode is PersistMode.EAGER_BACKGROUND:
             self._spawn_persist(replica, version, value, trigger="eager")
             op = _WriteOp(op_id=op_id, key=replica.key, version=version,
-                          value=value, ack_c=Latch(self.sim, 0),
-                          ack_p=Latch(self.sim, len(self.peer_ids)))
+                          value=value, ack_c=AckRound(self.sim, ()),
+                          ack_p=AckRound(self.sim, self.active_peers))
             self._outstanding_writes[op_id] = op
+            self._arm_round_watchdog(op.ack_p, message)
             self.sim.process(self._causal_valp_round(op, replica),
                              name=f"n{self.node_id}.cvalp")
         elif self.ppolicy.persist_mode is PersistMode.LAZY_BACKGROUND:
@@ -768,10 +1021,13 @@ class ProtocolNode:
                 self.tracer.emit(self.sim.now, "txn_begin", node=self.node_id,
                                  txn_id=txn.txn_id, client=ctx.client_id)
             op_id = self._next_op_id()
-            round_op = _RoundOp(op_id, Latch(self.sim, len(self.peer_ids)))
+            targets = self.active_peers
+            round_op = _RoundOp(op_id, AckRound(self.sim, targets))
             self._outstanding_rounds[op_id] = round_op
-            self._broadcast(Message(MsgType.INITX, src=self.node_id,
-                                    op_id=op_id, txn_id=txn.txn_id))
+            initx = Message(MsgType.INITX, src=self.node_id,
+                            op_id=op_id, txn_id=txn.txn_id)
+            self._broadcast(initx, targets=targets)
+            self._arm_round_watchdog(round_op.acks, initx)
             if self.ppolicy.persist_mode is PersistMode.INLINE:
                 yield from self.memory.persist(txn.txn_id)
                 self.metrics.persists += 1
@@ -792,12 +1048,15 @@ class ProtocolNode:
             yield self.sim.timeout(self.config.req_proc_ns)
             self.txn_table.check_still_alive(txn)
             op_id = self._next_op_id()
-            round_op = _RoundOp(op_id, Latch(self.sim, len(self.peer_ids)))
+            targets = self.active_peers
+            round_op = _RoundOp(op_id, AckRound(self.sim, targets))
             self._outstanding_rounds[op_id] = round_op
             payload = tuple(txn.writes)
-            self._broadcast(Message(MsgType.ENDX, src=self.node_id,
-                                    op_id=op_id, txn_id=txn.txn_id,
-                                    payload=payload))
+            endx = Message(MsgType.ENDX, src=self.node_id,
+                           op_id=op_id, txn_id=txn.txn_id,
+                           payload=payload)
+            self._broadcast(endx, targets=targets)
+            self._arm_round_watchdog(round_op.acks, endx)
             if self.ppolicy.persist_mode is PersistMode.INLINE:
                 yield from self._persist_many(payload)
             elif self.ppolicy.persist_mode is PersistMode.EAGER_BACKGROUND:
@@ -906,12 +1165,15 @@ class ProtocolNode:
             scope_start = self.sim.now
             yield self.sim.timeout(self.config.req_proc_ns)
             op_id = self._next_op_id()
-            round_op = _RoundOp(op_id, Latch(self.sim, len(self.peer_ids)))
+            targets = self.active_peers
+            round_op = _RoundOp(op_id, AckRound(self.sim, targets))
             self._outstanding_rounds[op_id] = round_op
             payload = tuple(writes)
-            self._broadcast(Message(MsgType.PERSIST, src=self.node_id,
-                                    op_id=op_id, scope_id=scope_id,
-                                    payload=payload))
+            persist_msg = Message(MsgType.PERSIST, src=self.node_id,
+                                  op_id=op_id, scope_id=scope_id,
+                                  payload=payload)
+            self._broadcast(persist_msg, targets=targets)
+            self._arm_round_watchdog(round_op.acks, persist_msg)
             yield from self._persist_scope_local(scope_id, payload)
             yield round_op.acks.wait()
             self._outstanding_rounds.pop(op_id, None)
@@ -974,8 +1236,11 @@ class ProtocolNode:
         replica = self.replicas.get(message.key)
         replica.begin_inv(message.op_id)
         if message.txn_id is not None:
-            self._txn_invs.setdefault(message.txn_id, []).append(
-                (message.key, message.op_id))
+            entries = self._txn_invs.setdefault(message.txn_id, [])
+            # Resent INVs (round retries, duplication faults) must not
+            # double-register: the post-ENDX VAL ends each inv once.
+            if (message.key, message.op_id) not in entries:
+                entries.append((message.key, message.op_id))
         yield from self.memory.volatile_update(message.key,
                                                self.config.value_bytes,
                                                via_ddio=True)
@@ -1061,22 +1326,22 @@ class ProtocolNode:
     def _on_ack_c(self, message: Message) -> Generator:
         op = self._outstanding_writes.get(message.op_id)
         if op is not None:
-            op.ack_c.arrive()
+            op.ack_c.ack(message.src)
             return
         round_op = self._outstanding_rounds.get(message.op_id)
         if round_op is not None:
-            round_op.acks.arrive()
+            round_op.acks.ack(message.src)
         return
         yield  # pragma: no cover - makes this a generator
 
     def _on_ack_p(self, message: Message) -> Generator:
         op = self._outstanding_writes.get(message.op_id)
         if op is not None and op.ack_p is not None:
-            op.ack_p.arrive()
+            op.ack_p.ack(message.src)
             return
         round_op = self._outstanding_rounds.get(message.op_id)
         if round_op is not None:
-            round_op.acks.arrive()
+            round_op.acks.ack(message.src)
         return
         yield  # pragma: no cover - makes this a generator
 

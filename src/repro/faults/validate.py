@@ -1,0 +1,95 @@
+"""Post-run invariant validation for faulty runs.
+
+After a run with fault injection, :func:`validate_faulty_run` recovers
+the cluster's durable state and checks every contract the model makes
+(the same Table 2/4 contracts as ``tests/recovery/test_crash_contracts``,
+here applied to whatever the injector did mid-run):
+
+* ``completed_writes_recovered`` — Strict persistency (any consistency)
+  and <Linearizable/Transactional, Synchronous>: every write the client
+  was acknowledged for (for transactions: every write of a committed
+  transaction) is recoverable.
+* ``read_values_recovered`` — Read-Enforced persistency (any
+  consistency) and <Causal/Eventual, Synchronous>: every value a client
+  read is recoverable.  (Reads issued inside transactions are not
+  session-logged — a squashed transaction's reads are retried wholesale
+  — so under Transactional consistency this check covers none and
+  passes trivially.)
+* ``scope_atomicity`` — Scope persistency: committed scopes recover
+  all-or-nothing per node.
+* ``monotonic_reads`` — all non-transactional models, per client
+  *session*: a crash-restart of the client's node starts a new session
+  (volatile state newer than the durable image is legitimately lost),
+  so each session segment is checked independently.  Skipped under
+  Transactional consistency, where a read may legitimately observe a
+  later-squashed transaction's write.
+
+The clients must have been built with operation recording (the cluster
+does this automatically when constructed with ``faults=``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.policies import PersistMode
+from repro.recovery.checker import (CheckResult,
+                                    check_completed_writes_recovered,
+                                    check_monotonic_reads,
+                                    check_read_values_recovered,
+                                    check_scope_atomicity)
+from repro.recovery.recovery import recover_latest
+
+__all__ = ["validate_faulty_run"]
+
+
+def _merge(name: str, results: List[CheckResult]) -> CheckResult:
+    violations = [v for result in results for v in result.violations]
+    return CheckResult(name, not violations, violations)
+
+
+def validate_faulty_run(cluster) -> List[CheckResult]:
+    """Run every contract check applicable to ``cluster.model``.
+
+    Returns the list of :class:`CheckResult`; the run is correct iff
+    every result is ok.
+    """
+    engine = cluster.engines[0]
+    cpolicy, ppolicy = engine.cpolicy, engine.ppolicy
+    node_ids = range(cluster.config.servers)
+    recovered = recover_latest(cluster.nvm_log, node_ids)
+    results: List[CheckResult] = []
+
+    guarantees_completed_writes = (
+        ppolicy.write_waits_for_persist_everywhere
+        or (ppolicy.persist_mode is PersistMode.INLINE
+            and (cpolicy.write_waits_for_acks or cpolicy.transactional)))
+    if guarantees_completed_writes:
+        results.append(_merge("completed_writes_recovered", [
+            check_completed_writes_recovered(recovered,
+                                             client.completed_writes)
+            for client in cluster.clients]))
+
+    guarantees_read_values = (
+        ppolicy.read_requires_applied_persisted
+        or (ppolicy.read_returns_persisted and not cpolicy.uses_inv))
+    if guarantees_read_values:
+        results.append(_merge("read_values_recovered", [
+            check_read_values_recovered(recovered, session)
+            for client in cluster.clients
+            for session in client.read_sessions()]))
+
+    if ppolicy.persist_mode is PersistMode.ON_SCOPE_END:
+        scope_writes = {}
+        for client in cluster.clients:
+            scope_writes.update(client.scope_log)
+        results.append(check_scope_atomicity(cluster.nvm_log, node_ids,
+                                             scope_writes))
+
+    if not cpolicy.transactional:
+        results.append(_merge("monotonic_reads", [
+            check_monotonic_reads(session)
+            for client in cluster.clients
+            for session in client.read_sessions()]))
+
+    return results

@@ -62,6 +62,11 @@ class MemoryDevice:
         self.writes = 0
         self.busy_ns = 0.0
         self.queued_ns = 0.0
+        # Fault injection: multiplies every access's service time while
+        # set above 1.0 (an "NVM slowdown" window models a degraded DIMM
+        # or thermally-throttled media).  The timing dataclass stays
+        # frozen; this is deliberately mutable mid-run.
+        self.slowdown = 1.0
 
     def _bank_for(self, address: int) -> Resource:
         # Addresses are small non-negative int keys, for which builtin
@@ -76,6 +81,7 @@ class MemoryDevice:
         enqueue_time = self.sim.now
         yield bank.acquire()
         self.queued_ns += self.sim.now - enqueue_time
+        service_ns = service_ns * self.slowdown
         try:
             yield self.sim.timeout(service_ns)
             self.busy_ns += service_ns
@@ -146,6 +152,6 @@ class NvmDevice(MemoryDevice):
                              node=self.trace_node,
                              dur=self.sim.now - start, address=address,
                              outstanding=self.outstanding,
-                             service_ns=self.timing.write_ns)
+                             service_ns=self.timing.write_ns * self.slowdown)
         else:
             yield from self._access(address, self.timing.write_ns)

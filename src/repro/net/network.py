@@ -95,6 +95,16 @@ class Network:
         # Optional hook for failure injection: called with (src, dst, msg);
         # returning False drops the message.
         self.filter: Optional[Callable[[int, int, Any], bool]] = None
+        # Richer fault hook (duck-typed, see repro.faults.FaultInjector):
+        # ``faults.on_message(src, dst, message, size_bytes)`` returns
+        # None for "deliver normally" or an object with ``drop`` (bool),
+        # ``delay_ns`` (float, extra propagation latency) and ``copies``
+        # (int >= 1, message duplication) attributes.  Kept duck-typed so
+        # this layer does not depend on the faults package.
+        self.faults = None
+        self.dropped_messages = 0
+        self.delayed_messages = 0
+        self.duplicated_messages = 0
 
     def attach(self, node_id: int) -> Nic:
         """Create and register the NIC for ``node_id``."""
@@ -122,13 +132,32 @@ class Network:
             raise ValueError("loopback send: use local operations instead")
         if self.filter is not None and not self.filter(src, dst, message):
             return self.sim.event()  # dropped: never triggers
+        extra_delay_ns = 0.0
+        if self.faults is not None:
+            verdict = self.faults.on_message(src, dst, message, size_bytes)
+            if verdict is not None:
+                if verdict.drop:
+                    self.dropped_messages += 1
+                    return self.sim.event()  # dropped: never triggers
+                extra_delay_ns = verdict.delay_ns
+                if extra_delay_ns > 0:
+                    self.delayed_messages += 1
+                # Duplicates ride their own transfers: each occupies a
+                # queue pair and serializes like a real resend would.
+                for _copy in range(verdict.copies - 1):
+                    self.duplicated_messages += 1
+                    self.sim.process(
+                        self._transfer(src, dst, message, size_bytes,
+                                       self.sim.event(), extra_delay_ns),
+                        name=f"net:{src}->{dst}")
         delivered = self.sim.event()
-        self.sim.process(self._transfer(src, dst, message, size_bytes, delivered),
+        self.sim.process(self._transfer(src, dst, message, size_bytes,
+                                        delivered, extra_delay_ns),
                          name=f"net:{src}->{dst}")
         return delivered
 
     def _transfer(self, src: int, dst: int, message: Any, size_bytes: int,
-                  delivered: Event) -> Generator:
+                  delivered: Event, extra_delay_ns: float = 0.0) -> Generator:
         src_nic = self._nics[src]
         dst_nic = self._nics[dst]
         inject_start = self.sim.now
@@ -151,7 +180,7 @@ class Network:
                              bytes=size_bytes, ser_ns=serialization_ns)
         one_way = (self.one_way_fn(src, dst) if self.one_way_fn is not None
                    else self.config.one_way_ns)
-        yield self.sim.timeout(one_way)
+        yield self.sim.timeout(one_way + extra_delay_ns)
         dst_nic.deliver(message, size_bytes)
         if self.tracer.enabled:
             self.tracer.emit(self.sim.now, "net_deliver", node=dst, src=src,

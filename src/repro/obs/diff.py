@@ -33,7 +33,7 @@ __all__ = ["DiffError", "MetricDelta", "DiffReport", "load_artifact",
 DIFF_SCHEMA = "repro.diff_report/1"
 
 RUN_REPORT_SCHEMAS = ("repro.run_report/1", "repro.run_report/2",
-                      "repro.run_report/3")
+                      "repro.run_report/3", "repro.run_report/4")
 BENCH_SCHEMAS = ("repro.bench/1",)
 
 #: Metric name -> direction.  "higher" means an increase is good (a
@@ -90,6 +90,12 @@ class DiffReport:
     threshold: float
     entries: List[MetricDelta] = field(default_factory=list)
     forced: bool = False
+    only_in_baseline: List[str] = field(default_factory=list)
+    only_in_candidate: List[str] = field(default_factory=list)
+    """``row/metric`` keys present in exactly one artifact (rows missing
+    from the other side contribute all their metrics).  One-sided keys
+    never affect the verdict, but a silent disappearance of a metric is
+    itself a signal, so they are always surfaced."""
 
     @property
     def regressions(self) -> List[MetricDelta]:
@@ -210,6 +216,13 @@ def diff_documents(base_doc: Dict[str, Any], cand_doc: Dict[str, Any],
             report.entries.append(_compare_one(
                 label, metric, base_metrics.get(metric),
                 cand_metrics.get(metric), threshold))
+        for metric in sorted(set(base_metrics) - set(cand_metrics)):
+            report.only_in_baseline.append(f"{label}/{metric}")
+        for metric in sorted(set(cand_metrics) - set(base_metrics)):
+            report.only_in_candidate.append(f"{label}/{metric}")
+    # Rows missing entirely on one side are listed once by label.
+    report.only_in_baseline.extend(sorted(set(rows_a) - set(rows_b)))
+    report.only_in_candidate.extend(sorted(set(rows_b) - set(rows_a)))
     return report
 
 
@@ -268,6 +281,14 @@ def format_markdown(report: DiffReport, show_ok: bool = True) -> str:
                          f"{_fmt(entry.baseline)} -> {_fmt(entry.candidate)} "
                          f"({_fmt_delta(entry.delta_frac)})")
         lines.append("")
+    if report.only_in_baseline:
+        lines.append("Only in baseline (not compared):")
+        lines.extend(f"* `{key}`" for key in report.only_in_baseline)
+        lines.append("")
+    if report.only_in_candidate:
+        lines.append("Only in candidate (not compared):")
+        lines.extend(f"* `{key}`" for key in report.only_in_candidate)
+        lines.append("")
     entries = (report.entries if show_ok
                else [e for e in report.entries
                      if e.verdict in ("regression", "improvement")])
@@ -302,6 +323,8 @@ def diff_json(report: DiffReport) -> Dict[str, Any]:
         "regressions": [f"{e.label}/{e.metric}" for e in report.regressions],
         "improvements": [f"{e.label}/{e.metric}"
                          for e in report.improvements],
+        "only_in_baseline": list(report.only_in_baseline),
+        "only_in_candidate": list(report.only_in_candidate),
         "metrics": [
             {"row": e.label, "metric": e.metric,
              "baseline": clean(e.baseline), "candidate": clean(e.candidate),

@@ -44,7 +44,7 @@ LANES: Dict[str, Iterable[str]] = {
                  "recovery_done"),
     "journey": ("journey_vp", "journey_dp", "write_complete"),
     "health": ("health", "health.kernel", "health.pressure",
-               "health_violation"),
+               "health_violation", "fault"),
 }
 
 _LANE_NAMES = list(LANES) + ["misc"]

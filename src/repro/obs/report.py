@@ -9,7 +9,7 @@ Durability-Point lag series, and (optionally) the kernel profile.
 Schema (see DESIGN.md "Run-report JSON" for field-level docs)::
 
     {
-      "schema": "repro.run_report/3",
+      "schema": "repro.run_report/4",
       "meta":     {model, consistency, persistency, servers, clients,
                    seed, workload, duration_ns, warmup_ns, window_ns,
                    config_hash},
@@ -25,15 +25,18 @@ Schema (see DESIGN.md "Run-report JSON" for field-level docs)::
       "profile":  {...KernelProfile.snapshot()...},
       "trace":    {"records": n, "dropped": n, "categories": {...}},
       "journeys": {...repro.analysis.waterfall.waterfall_json(...)...},
-      "health":   {...repro.obs.monitor.health_json(...)...}
+      "health":   {...repro.obs.monitor.health_json(...)...},
+      "faults":   {...repro.faults.faults_json(...)...}
     }
 
 Schema history: ``/1`` (PR 1) lacked the ``journeys`` section; ``/2``
 adds it (critical-path waterfall aggregates, see DESIGN.md "Journey
 waterfalls"); ``/3`` adds the optional ``health`` section (periodic
-pressure samples and invariant-probe violations, see DESIGN.md
-"Online health monitoring") and the ``meta.config_hash`` fingerprint
-that ``repro diff`` uses to refuse apples-to-oranges comparisons.
+pressure samples and invariant-probe violations, see docs/handbook.md)
+and the ``meta.config_hash`` fingerprint that ``repro diff`` uses to
+refuse apples-to-oranges comparisons; ``/4`` adds the optional
+``faults`` section (the fault plan as injected, lifecycle event log,
+membership outcome, and round-retry counters, see docs/handbook.md).
 Fields of older schemas are unchanged.
 
 NaN/inf values (empty windows, models that never persist) are emitted
@@ -53,7 +56,7 @@ from repro.analysis.metrics import Metrics, Summary
 __all__ = ["SCHEMA", "config_fingerprint", "build_run_report",
            "write_run_report"]
 
-SCHEMA = "repro.run_report/3"
+SCHEMA = "repro.run_report/4"
 
 
 def _clean(value: Any) -> Any:
@@ -95,14 +98,16 @@ def build_run_report(summary: Summary, metrics: Metrics,
                      profile: Any = None,
                      tracer: Any = None,
                      journeys: Any = None,
-                     monitor: Any = None) -> Dict[str, Any]:
+                     monitor: Any = None,
+                     faults: Any = None) -> Dict[str, Any]:
     """Assemble the report dict from a finished run's collectors.
 
     ``points`` is a :class:`repro.analysis.points.PointsTracker` (or
     None), ``profile`` a :class:`repro.obs.profile.KernelProfile`,
     ``tracer`` a :class:`repro.sim.trace.Tracer`, ``journeys`` a
     :class:`repro.analysis.waterfall.WaterfallReport`, ``monitor`` a
-    :class:`repro.obs.monitor.HealthMonitor`; all optional so callers
+    :class:`repro.obs.monitor.HealthMonitor`, ``faults`` a
+    :class:`repro.faults.FaultInjector`; all optional so callers
     include only what they measured.
     """
     report: Dict[str, Any] = {
@@ -136,6 +141,9 @@ def build_run_report(summary: Summary, metrics: Metrics,
     if monitor is not None:
         from repro.obs.monitor import health_json
         report["health"] = _clean(health_json(monitor))
+    if faults is not None:
+        from repro.faults.injector import faults_json
+        report["faults"] = _clean(faults_json(faults))
     return report
 
 

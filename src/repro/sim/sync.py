@@ -67,14 +67,23 @@ class Resource:
         return event
 
     def release(self) -> None:
-        """Return one unit; hands it to the oldest waiter if any."""
+        """Return one unit; hands it to the oldest *live* waiter if any.
+
+        A queued waiter whose process was interrupted before admission
+        (a crashed node's client, mid-``acquire``) has no callbacks left
+        on its event; granting it would leak the unit forever.  Such
+        dead waiters are skipped — in a fault-free run every queued
+        event still carries its process resume callback, so this path
+        never changes healthy admission order.
+        """
         if self._in_use <= 0:
             raise RuntimeError(f"release of idle resource {self.name!r}")
-        if self._waiters:
+        while self._waiters:
             waiter = self._waiters.popleft()
-            waiter.succeed(self)
-        else:
-            self._in_use -= 1
+            if waiter.callbacks:
+                waiter.succeed(self)
+                return
+        self._in_use -= 1
 
     def use(self, duration: float) -> Generator:
         """Process helper: acquire, hold for ``duration``, release."""

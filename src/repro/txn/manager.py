@@ -81,6 +81,20 @@ class TxnTable:
         self._active.pop(txn.txn_id, None)
         self.aborted += 1
 
+    def abandon_node(self, node: int) -> List[int]:
+        """Abort every active transaction coordinated by ``node``.
+
+        Called once per detected crash (by the fault injector) so the
+        dead coordinator's open write sets stop conflicting with — and
+        thereby squashing or stalling — every live transaction forever.
+        Returns the aborted transaction ids, in id order.
+        """
+        doomed = sorted(txn_id for txn_id, txn in self._active.items()
+                        if txn.node == node)
+        for txn_id in doomed:
+            self.abort(self._active[txn_id])
+        return doomed
+
     @property
     def active_count(self) -> int:
         return len(self._active)

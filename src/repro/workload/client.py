@@ -40,7 +40,7 @@ class Client:
 
     def __init__(self, sim: Simulator, client_id: int, node: ProtocolNode,
                  stream: RequestStream, metrics: Metrics,
-                 record_reads: bool = False):
+                 record_reads: bool = False, record_ops: bool = False):
         self.sim = sim
         self.client_id = client_id
         self.node = node
@@ -52,8 +52,19 @@ class Client:
         self._stop = False
         # Optional session log of (key, version) read observations, for
         # validating session guarantees (monotonic reads, Table 4).
-        self.record_reads = record_reads
+        # ``record_ops`` additionally logs completed writes, committed
+        # transaction writes, and completed scopes, for the durability
+        # contracts checked by repro.faults.validate after faulty runs
+        # (and implies read recording).
+        self.record_reads = record_reads or record_ops
+        self.record_ops = record_ops
         self.read_observations: List[tuple] = []
+        self.completed_writes: List[tuple] = []
+        self.scope_log: dict = {}
+        # Read sessions closed by a crash-restart of the client's node:
+        # session guarantees (monotonic reads) hold within a session,
+        # and a restart starts a fresh one.
+        self._closed_read_sessions: List[List[tuple]] = []
 
     def start(self) -> None:
         self.process = self.sim.process(self._run(),
@@ -66,6 +77,31 @@ class Client:
         round mid-flight, so the cluster drains to a clean state.
         """
         self._stop = True
+
+    def restart(self) -> None:
+        """Reconnect after the client's node crash-restarted.
+
+        The old process was interrupted at the crash (abandoning any
+        in-flight operation, like a real client losing its server); this
+        opens a fresh session: new context (causal dependencies, scopes,
+        and transactions do not survive the server's volatile state) and
+        a new read-session segment.  Durable-contract logs
+        (``completed_writes``, ``scope_log``) span sessions — completed
+        work stays completed across a crash.
+        """
+        if self.read_observations:
+            self._closed_read_sessions.append(self.read_observations)
+            self.read_observations = []
+        self.ctx = ClientContext(self.client_id, self.node.node_id)
+        self._stop = False
+        self.start()
+
+    def read_sessions(self) -> List[List[tuple]]:
+        """All read-session segments, oldest first (see ``restart``)."""
+        sessions = list(self._closed_read_sessions)
+        if self.read_observations:
+            sessions.append(self.read_observations)
+        return sessions
 
     # ------------------------------------------------------------------
 
@@ -109,12 +145,21 @@ class Client:
                     (key, self.ctx.last_read_version))
         else:
             yield from self.node.client_write(self.ctx, key, value)
+            if self.record_ops:
+                self.completed_writes.append(
+                    (key, self.ctx.last_write_version))
         self._record(op, key, start)
         return 1
 
     def _run_scope_persist(self) -> Generator:
         start = self.sim.now
+        scope_id = self.ctx.current_scope_id
+        scope_writes = list(self.ctx.scope_writes)
         yield from self.node.client_persist_scope(self.ctx)
+        if self.record_ops and scope_writes:
+            # Recorded only on completion: an interrupted Persist leaves
+            # the scope uncommitted, which makes no durability promise.
+            self.scope_log[scope_id] = scope_writes
         self._record("persist", None, start)
 
     # -- transactions ------------------------------------------------------------------
@@ -129,6 +174,7 @@ class Client:
             begin_start = self.sim.now
             try:
                 yield from self.node.client_begin_txn(self.ctx)
+                txn = self.ctx.txn
                 completions: List[float] = []
                 for index, (op, key, value) in enumerate(requests):
                     if first_start[index] is None:
@@ -145,6 +191,11 @@ class Client:
                            * min(attempt, _MAX_BACKOFF_MULTIPLIER))
                 yield self.sim.timeout(backoff)
                 continue
+            if self.record_ops and txn is not None:
+                # A committed transaction's writes are the durable unit
+                # (individual writes inside an uncommitted transaction
+                # promise nothing).
+                self.completed_writes.extend(txn.writes)
             # Success: record every request of the transaction.  Reads and
             # writes inside a committed transaction are not final until
             # ENDX, but the paper measures their individual completions.

@@ -89,7 +89,7 @@ class TestCommands:
         assert trace["otherData"]["record_count"] > 0
 
         report = json.loads(report_path.read_text())
-        assert report["schema"] == "repro.run_report/3"
+        assert report["schema"] == "repro.run_report/4"
         assert report["meta"]["window_ns"] == 5000.0
         assert len(report["meta"]["config_hash"]) == 16
         assert report["windows"], "windowed throughput series missing"

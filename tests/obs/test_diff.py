@@ -77,6 +77,57 @@ class TestVerdicts:
         assert not any(e.metric == "p99_write_ns" for e in report.entries)
 
 
+class TestOneSidedKeys:
+    """Metrics present in only one artifact are surfaced, never judged."""
+
+    def test_metric_only_in_candidate_listed(self):
+        base = _run_report()
+        del base["summary"]["p99_write_ns"]
+        report = diff_documents(base, _run_report())
+        assert report.only_in_candidate == ["summary/p99_write_ns"]
+        assert report.only_in_baseline == []
+        assert report.verdict == "no-regression"
+
+    def test_metric_only_in_baseline_listed(self):
+        cand = _run_report()
+        del cand["summary"]["throughput_ops_per_s"]
+        report = diff_documents(_run_report(), cand)
+        assert report.only_in_baseline == ["summary/throughput_ops_per_s"]
+
+    def test_one_sided_bench_row_listed_whole(self):
+        base = _bench(**{
+            "<Causal, Synchronous>": {"throughput_ops_per_s": 1e8},
+            "<Linearizable, Strict>": {"throughput_ops_per_s": 5e7},
+        })
+        cand = _bench(**{
+            "<Causal, Synchronous>": {"throughput_ops_per_s": 1e8},
+        })
+        report = diff_documents(base, cand)
+        assert report.only_in_baseline == ["<Linearizable, Strict>"]
+        assert report.verdict == "no-regression"
+
+    def test_one_sided_keys_rendered_and_serialized(self):
+        base = _run_report()
+        del base["summary"]["p99_write_ns"]
+        cand = _run_report()
+        del cand["summary"]["persists"]
+        report = diff_documents(base, cand)
+        text = format_markdown(report)
+        assert "Only in baseline (not compared):" in text
+        assert "summary/persists" in text
+        assert "Only in candidate (not compared):" in text
+        assert "summary/p99_write_ns" in text
+        doc = diff_json(report)
+        assert doc["only_in_baseline"] == ["summary/persists"]
+        assert doc["only_in_candidate"] == ["summary/p99_write_ns"]
+
+    def test_no_one_sided_sections_when_symmetric(self):
+        report = diff_documents(_run_report(), _run_report())
+        assert report.only_in_baseline == []
+        assert report.only_in_candidate == []
+        assert "Only in" not in format_markdown(report)
+
+
 class TestCompatibility:
     def test_config_hash_mismatch_refused(self):
         with pytest.raises(DiffError, match="apples-to-oranges"):

@@ -29,10 +29,12 @@ MODELS = [
 ]
 
 
-def _run(model, tracer=None, profile=None, monitor=None, seed=2021):
+def _run(model, tracer=None, profile=None, monitor=None, seed=2021,
+         faults=None):
     config = ClusterConfig(servers=3, clients_per_server=3, seed=seed)
     cluster = Cluster(model, config=config, workload=WORKLOADS["A"],
-                      tracer=tracer, profile=profile, monitor=monitor)
+                      tracer=tracer, profile=profile, monitor=monitor,
+                      faults=faults)
     summary = cluster.run(40_000.0, warmup_ns=4_000.0)
     stores = [
         {replica.key: (replica.applied_version, replica.applied_value,
@@ -113,6 +115,75 @@ class TestTracingDoesNotPerturb:
         assert dataclasses.asdict(summary_off) == \
             pytest.approx(dataclasses.asdict(summary_on), nan_ok=True)
         assert stores_off == stores_on
+
+
+class TestFaultInjectionEquivalence:
+    """The injector obeys the same discipline as the monitor: attached
+    but idle, it changes nothing; active, it is exactly reproducible."""
+
+    @pytest.mark.parametrize("model", MODELS, ids=str)
+    def test_empty_plan_does_not_perturb(self, model):
+        """A fault injector with an empty plan — membership wired,
+        round watchdogs armed, network hook absent — reproduces the
+        uninjected run exactly."""
+        from repro.faults import FaultInjector, FaultPlan
+
+        cluster_off, summary_off, stores_off = _run(model)
+        cluster_on, summary_on, stores_on = _run(
+            model, faults=FaultInjector(FaultPlan()))
+        assert cluster_on.membership is not None
+        assert dataclasses.asdict(summary_off) == \
+            pytest.approx(dataclasses.asdict(summary_on), nan_ok=True)
+        assert stores_off == stores_on
+        assert cluster_off.sim.now == cluster_on.sim.now
+
+    def test_empty_plan_trace_byte_identical(self, tmp_path):
+        """The acceptance bar for `--faults`: a fault-free run with the
+        injector attached records byte-for-byte the trace of a plain
+        run, even though every protocol round armed a timeout watchdog."""
+        from repro.faults import FaultInjector, FaultPlan
+
+        model = DdpModel(Consistency.LINEARIZABLE, Persistency.SYNCHRONOUS)
+        contents = []
+        for injected in (False, True):
+            tracer = Tracer()
+            faults = FaultInjector(FaultPlan()) if injected else None
+            _run(model, tracer=tracer, faults=faults)
+            path = tmp_path / f"f{injected}.json"
+            write_chrome_trace(str(path), tracer.records,
+                               dropped=tracer.dropped)
+            contents.append(path.read_bytes())
+        assert contents[0] == contents[1]
+
+    @pytest.mark.parametrize("model", MODELS, ids=str)
+    def test_same_seed_same_plan_byte_identical(self, model, tmp_path):
+        """Same workload seed + same fault plan => byte-identical traces,
+        across a plan that exercises crash-restart, message loss, and
+        duplication (the deterministic-replay guarantee)."""
+        from repro.faults import FaultInjector, load_fault_plan
+
+        plan_dict = {
+            "seed": 9,
+            "events": [
+                {"kind": "drop", "at_us": 6, "duration_us": 8,
+                 "probability": 0.1},
+                {"kind": "duplicate", "at_us": 10, "duration_us": 8,
+                 "probability": 0.2},
+                {"kind": "crash", "node": 1, "at_us": 18,
+                 "restart_after_us": 10},
+            ],
+        }
+        contents = []
+        for run in ("a", "b"):
+            tracer = Tracer()
+            injector = FaultInjector(load_fault_plan(dict(plan_dict)))
+            _run(model, tracer=tracer, faults=injector)
+            assert injector.crashes == 1 and injector.restarts == 1
+            path = tmp_path / f"{run}.json"
+            write_chrome_trace(str(path), tracer.records,
+                               dropped=tracer.dropped)
+            contents.append(path.read_bytes())
+        assert contents[0] == contents[1]
 
 
 class TestTraceDeterminism:

@@ -1,0 +1,104 @@
+"""The markdown link checker catches what it claims — and the repo's
+own docs pass it (the same invocation CI runs)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "mdlint", ROOT / "tools" / "mdlint.py")
+mdlint = importlib.util.module_from_spec(spec)
+sys.modules.setdefault("mdlint", mdlint)
+spec.loader.exec_module(mdlint)
+
+
+class TestSlugs:
+    @pytest.mark.parametrize("heading,slug", [
+        ("Operator's handbook", "operators-handbook"),
+        ("The 5×5 model matrix", "the-55-model-matrix"),
+        ("Run report (`repro.run_report/4`)",
+         "run-report-reprorun_report4"),
+        ("`repro run` — simulate one model",
+         "repro-run--simulate-one-model"),
+        ("**Bold** and _tail_", "bold-and-_tail_"),
+        ("CamelCase & symbols!?", "camelcase--symbols"),
+    ])
+    def test_github_rules(self, heading, slug):
+        assert mdlint.github_slug(heading, {}) == slug
+
+    def test_duplicates_suffixed(self):
+        seen = {}
+        assert mdlint.github_slug("Same", seen) == "same"
+        assert mdlint.github_slug("Same", seen) == "same-1"
+        assert mdlint.github_slug("Same", seen) == "same-2"
+
+    def test_headings_inside_fences_ignored(self):
+        text = "# Real\n```\n# not a heading\n```\n## Also real\n"
+        assert mdlint.heading_slugs(text) == ["real", "also-real"]
+
+
+class TestChecker:
+    def write(self, tmp_path, name, text):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def check(self, *paths):
+        checker = mdlint.Checker()
+        for path in paths:
+            checker.check_file(path)
+        return checker.errors
+
+    def test_clean_cross_file_link_and_anchor(self, tmp_path):
+        self.write(tmp_path, "other.md", "# Target Heading\n")
+        doc = self.write(tmp_path, "doc.md",
+                         "[ok](other.md) and "
+                         "[anchored](other.md#target-heading) and "
+                         "[external](https://example.com/x)\n")
+        assert self.check(doc) == []
+
+    def test_missing_file_reported_with_line(self, tmp_path):
+        doc = self.write(tmp_path, "doc.md", "\n\n[bad](missing.md)\n")
+        (error,) = self.check(doc)
+        assert "doc.md:3" in error and "missing.md" in error
+
+    def test_bad_anchor_reported(self, tmp_path):
+        self.write(tmp_path, "other.md", "# Only Heading\n")
+        doc = self.write(tmp_path, "doc.md", "[bad](other.md#nope)\n")
+        (error,) = self.check(doc)
+        assert "nope" in error
+
+    def test_same_file_anchor(self, tmp_path):
+        doc = self.write(tmp_path, "doc.md",
+                         "# A Heading\n[up](#a-heading)\n[bad](#nope)\n")
+        (error,) = self.check(doc)
+        assert "#nope" in error
+
+    def test_links_in_code_blocks_ignored(self, tmp_path):
+        doc = self.write(tmp_path, "doc.md",
+                         "```\n[fake](nowhere.md)\n```\n"
+                         "inline `[fake](nowhere.md)` too\n")
+        assert self.check(doc) == []
+
+    def test_reference_style_links(self, tmp_path):
+        self.write(tmp_path, "other.md", "# H\n")
+        doc = self.write(tmp_path, "doc.md",
+                         "[good][a] [dangling][b]\n\n[a]: other.md\n")
+        (error,) = self.check(doc)
+        assert "[b]" in error
+
+    def test_anchor_into_non_markdown_skipped(self, tmp_path):
+        self.write(tmp_path, "code.py", "x = 1\n")
+        doc = self.write(tmp_path, "doc.md", "[src](code.py#L1)\n")
+        assert self.check(doc) == []
+
+
+def test_repository_docs_are_clean(capsys):
+    """The gate CI enforces: every *.md at the root and under docs/."""
+    targets = [str(p) for p in sorted(ROOT.glob("*.md"))]
+    targets.append(str(ROOT / "docs"))
+    assert mdlint.main(targets) == 0, capsys.readouterr().out

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Markdown link-and-anchor checker (stdlib only).
+
+Validates every markdown file it is given (or discovers):
+
+* **relative links** — ``[text](path)`` and ``[text](path#anchor)``
+  must point at a file or directory that exists relative to the
+  linking file;
+* **anchors** — ``#fragment`` targets (same-file or cross-file) must
+  match a heading slug in the target file, using GitHub's slug rules
+  (lowercase; spaces to hyphens; punctuation stripped; duplicate
+  slugs suffixed ``-1``, ``-2``, …);
+* **reference definitions** — ``[text][ref]`` uses must have a
+  matching ``[ref]: target`` definition, whose target is checked the
+  same way.
+
+External targets (``http:``, ``https:``, ``mailto:``) are recorded
+but never fetched — CI must not depend on the network. Bare URLs in
+prose are ignored.
+
+Usage::
+
+    python tools/mdlint.py                 # *.md at repo root + docs/
+    python tools/mdlint.py README.md docs  # explicit files/dirs
+
+Exit codes: 0 clean, 1 broken links/anchors, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Dict, Iterable, List, Optional, Tuple
+
+# Inline links/images: [text](target "title") — target ends at the
+# first unescaped ')' or whitespace-before-title. Non-greedy text, no
+# nested brackets (enough for this repo's prose).
+_INLINE_LINK = re.compile(r"!?\[[^\]\n]*\]\(\s*<?([^)<>\s]+)>?"
+                          r"(?:\s+\"[^\"]*\")?\s*\)")
+_REF_USE = re.compile(r"\[[^\]\n]+\]\[([^\]\n]+)\]")
+_REF_DEF = re.compile(r"^\s{0,3}\[([^\]\n]+)\]:\s+(\S+)", re.MULTILINE)
+_HEADING = re.compile(r"^(#{1,6})\s+(.+?)\s*#*\s*$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"^(```|~~~).*$", re.MULTILINE)
+# GitHub drops everything but word characters, hyphens, and spaces
+# when slugging a heading (underscores survive as word characters).
+_SLUG_DROP = re.compile(r"[^\w\- ]", re.UNICODE)
+# Underscores stay: GitHub keeps them in slugs (they are word chars,
+# and in-word underscores are not emphasis).
+_MD_DECORATION = re.compile(r"[*`]|\[|\]\([^)]*\)|\]")
+
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_code_blocks(text: str, inline: bool = True) -> str:
+    """Blank out fenced code blocks — and, unless ``inline=False``,
+    inline code spans — so links in example snippets are not checked
+    (they are often placeholders). Heading slugging keeps inline code:
+    GitHub slugs the text *inside* backticks."""
+    out: List[str] = []
+    in_fence = False
+    for line in text.splitlines(keepends=True):
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            out.append("\n")
+        elif in_fence:
+            out.append("\n")
+        elif inline:
+            out.append(re.sub(r"`[^`\n]*`", "", line))
+        else:
+            out.append(line)
+    return "".join(out)
+
+
+def github_slug(heading: str, seen: Dict[str, int]) -> str:
+    """Slug a heading the way GitHub's anchor generator does."""
+    text = _MD_DECORATION.sub("", heading)
+    slug = _SLUG_DROP.sub("", text.lower()).replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def heading_slugs(text: str) -> List[str]:
+    seen: Dict[str, int] = {}
+    return [github_slug(m.group(2), seen)
+            for m in _HEADING.finditer(strip_code_blocks(text,
+                                                         inline=False))]
+
+
+def iter_links(text: str) -> Iterable[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every checkable link."""
+    cleaned = strip_code_blocks(text)
+    defs = {m.group(1).lower(): m.group(2)
+            for m in _REF_DEF.finditer(cleaned)}
+    for match in _INLINE_LINK.finditer(cleaned):
+        line = cleaned.count("\n", 0, match.start()) + 1
+        yield line, match.group(1)
+    for match in _REF_USE.finditer(cleaned):
+        line = cleaned.count("\n", 0, match.start()) + 1
+        ref = match.group(1).lower()
+        if ref in defs:
+            yield line, defs[ref]
+        else:
+            yield line, f"\0missing-ref:{match.group(1)}"
+
+
+class Checker:
+    def __init__(self) -> None:
+        self._slug_cache: Dict[pathlib.Path, List[str]] = {}
+        self.errors: List[str] = []
+        self.links_checked = 0
+
+    def slugs_for(self, path: pathlib.Path) -> Optional[List[str]]:
+        path = path.resolve()
+        if path not in self._slug_cache:
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError:
+                return None
+            self._slug_cache[path] = heading_slugs(text)
+        return self._slug_cache[path]
+
+    def check_file(self, path: pathlib.Path) -> None:
+        text = path.read_text(encoding="utf-8")
+        for line, target in iter_links(text):
+            self.links_checked += 1
+            if target.startswith("\0missing-ref:"):
+                ref = target.split(":", 1)[1]
+                self.errors.append(f"{path}:{line}: reference [{ref}] "
+                                   f"has no definition")
+                continue
+            if target.startswith(EXTERNAL_SCHEMES):
+                continue
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                dest = (path.parent / file_part).resolve()
+                if not dest.exists():
+                    self.errors.append(f"{path}:{line}: broken link "
+                                       f"{target!r} ({file_part} does "
+                                       f"not exist)")
+                    continue
+            else:
+                dest = path.resolve()
+            if anchor:
+                if dest.is_dir() or dest.suffix.lower() != ".md":
+                    continue  # anchors into non-markdown: not checkable
+                slugs = self.slugs_for(dest)
+                if slugs is not None and anchor not in slugs:
+                    self.errors.append(f"{path}:{line}: broken anchor "
+                                       f"{target!r} (no heading slugs "
+                                       f"to {anchor!r} in {dest.name})")
+
+
+def discover(args: List[str], root: pathlib.Path) -> List[pathlib.Path]:
+    if not args:
+        files = sorted(root.glob("*.md"))
+        docs = root / "docs"
+        if docs.is_dir():
+            files.extend(sorted(docs.rglob("*.md")))
+        return files
+    files = []
+    for arg in args:
+        path = pathlib.Path(arg)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise SystemExit(f"mdlint: no such file or directory: {arg}")
+    return files
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    files = discover(argv, pathlib.Path.cwd())
+    if not files:
+        print("mdlint: no markdown files found", file=sys.stderr)
+        return 2
+    checker = Checker()
+    for path in files:
+        checker.check_file(path)
+    for error in checker.errors:
+        print(error)
+    status = "FAILED" if checker.errors else "clean"
+    print(f"mdlint: {status} — {len(files)} file(s), "
+          f"{checker.links_checked} link(s), "
+          f"{len(checker.errors)} error(s)")
+    return 1 if checker.errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
