@@ -1,0 +1,153 @@
+"""Kernel events/sec baseline: the needle the ROADMAP item-1 speedup
+must move.
+
+Runs the profiled kernel over representative model x cluster-size
+points and archives ``BENCH_kernel.json`` (schema ``repro.bench/1``):
+per-point events/sec, per-event overhead, slowdown factor, and the
+deterministic event/process counts that let ``repro diff`` separate "the
+kernel got faster" (wall-clock, informational) from "the run changed"
+(counters, gated).
+
+Points: the cheapest and the most message-heavy corners of the matrix
+(causal x eventual, linearizable x synchronous) plus a cluster-size axis
+(3 / 5 / 8 servers) on the cheap corner, so both per-event cost and
+heap-depth scaling are visible.
+"""
+
+import time
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.cluster import run_simulation
+from repro.core.model import Consistency, DdpModel, Persistency
+from repro.obs import KernelProfile
+from repro.workload.ycsb import WORKLOADS
+
+from conftest import DURATION_NS, WARMUP_NS, archive, archive_json
+
+CAUSAL_EVENTUAL = DdpModel(Consistency.CAUSAL, Persistency.EVENTUAL)
+LIN_SYNC = DdpModel(Consistency.LINEARIZABLE, Persistency.SYNCHRONOUS)
+
+#: label -> (model, servers).  Clients scale with the cluster (20 per
+#: server, the default density) so per-node load is constant.
+KERNEL_POINTS = {
+    "causal-eventual-3s": (CAUSAL_EVENTUAL, 3),
+    "causal-eventual-5s": (CAUSAL_EVENTUAL, 5),
+    "causal-eventual-8s": (CAUSAL_EVENTUAL, 8),
+    "linearizable-synchronous-5s": (LIN_SYNC, 5),
+}
+
+_RESULTS = {}
+
+
+def _run_points():
+    """Run every point once per session, profile attached."""
+    if _RESULTS:
+        return _RESULTS
+    for label, (model, servers) in KERNEL_POINTS.items():
+        config = ClusterConfig(servers=servers, clients_per_server=20,
+                               seed=2021)
+        profile = KernelProfile()
+        start = time.perf_counter()
+        summary = run_simulation(model, WORKLOADS["A"], config=config,
+                                 duration_ns=DURATION_NS,
+                                 warmup_ns=WARMUP_NS,
+                                 profile=profile)
+        wall = time.perf_counter() - start
+        _RESULTS[label] = (profile, summary, wall)
+    return _RESULTS
+
+
+def _metrics_row(profile, summary):
+    """The BENCH_kernel.json metrics for one point: wall-clock rates
+    (informational in diffs) plus deterministic kernel counters."""
+    snapshot = profile.snapshot()
+    events = profile.events_processed
+    loop = profile.loop_wall_seconds
+    return {
+        "events_processed": events,
+        "processes_spawned": profile.processes_spawned,
+        "heap_peak": profile.heap_peak,
+        "messages_handled": profile.messages_handled,
+        "events_per_wall_second": profile.events_per_wall_second,
+        "wall_seconds": profile.wall_elapsed_seconds,
+        "loop_wall_seconds": loop,
+        "ns_per_event": (loop / events * 1e9) if events else 0.0,
+        "wall_seconds_per_sim_second": profile.wall_seconds_per_sim_second,
+        "attributed_fraction":
+            snapshot["attribution"]["attributed_fraction"],
+        "throughput_ops_per_s": summary.throughput_ops_per_s,
+    }
+
+
+class TestKernelThroughput:
+    def test_every_point_produces_throughput(self, time_one_run):
+        results = time_one_run(_run_points)
+        assert len(results) >= 3
+        for label, (profile, _summary, _wall) in results.items():
+            assert profile.events_processed > 0, label
+            assert profile.events_per_wall_second > 0, label
+            assert profile.loop_wall_seconds > 0, label
+
+    def test_attribution_covers_loop_wall(self):
+        """Acceptance bar: per-bucket wall-times sum to within 5% of the
+        kernel's event-loop wall time, at every benched point."""
+        for label, (profile, _summary, _wall) in _run_points().items():
+            loop = profile.loop_wall_seconds
+            attributed = profile.attributed_wall_seconds
+            assert abs(attributed - loop) <= 0.05 * loop, (
+                f"{label}: {attributed:.6f}s attributed vs "
+                f"{loop:.6f}s loop wall")
+
+    def test_event_counts_scale_with_cluster_size(self):
+        """The deterministic counters behave: more servers (at constant
+        per-node load) means more kernel events."""
+        results = _run_points()
+        small = results["causal-eventual-3s"][0].events_processed
+        large = results["causal-eventual-8s"][0].events_processed
+        assert large > small
+
+    def test_archive_kernel_bench(self):
+        results = _run_points()
+        metrics = {label: _metrics_row(profile, summary)
+                   for label, (profile, summary, _wall) in results.items()}
+        total_wall = sum(wall for _p, _s, wall in results.values())
+        config = {
+            "bench": "kernel_throughput",
+            "workload": "A",
+            "duration_ns": DURATION_NS,
+            "clients_per_server": 20,
+            "points": {label: {"model": str(model), "servers": servers}
+                       for label, (model, servers)
+                       in KERNEL_POINTS.items()},
+        }
+        archive_json("kernel", config, metrics,
+                     wall_clock_seconds=total_wall)
+
+        header = (f"{'point':<30} {'events':>9} {'events/s':>11} "
+                  f"{'ns/event':>9} {'slowdown':>9}")
+        lines = ["kernel throughput baseline (events/sec)", header,
+                 "-" * len(header)]
+        for label, row in metrics.items():
+            lines.append(
+                f"{label:<30} {row['events_processed']:>9} "
+                f"{row['events_per_wall_second']:>11.0f} "
+                f"{row['ns_per_event']:>9.0f} "
+                f"{row['wall_seconds_per_sim_second']:>8.0f}x")
+        archive("kernel_throughput", "\n".join(lines))
+
+    def test_bench_artifact_schema(self):
+        """BENCH_kernel.json reloads with the fields the CI smoke step
+        and `repro diff` rely on."""
+        import json
+        import pathlib
+        self.test_archive_kernel_bench()
+        path = (pathlib.Path(__file__).parent / "results"
+                / "BENCH_kernel.json")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.bench/1"
+        assert doc["bench"] == "kernel"
+        assert isinstance(doc["config_hash"], str)
+        assert len(doc["metrics"]) >= 3
+        for label, row in doc["metrics"].items():
+            assert row["events_per_wall_second"] > 0, label
+            assert row["events_processed"] > 0, label

@@ -16,6 +16,14 @@ Subcommands:
   end-to-end VP/DP latency went (network / coordination-wait / NVM-queue
   / device / compute), aggregated and for the slowest updates; ``--all``
   sweeps the 25-model matrix fig6-style.
+* ``profile`` — the kernel performance observatory: run one model with
+  the profiler attached and print a hotspot table (event kinds and
+  message handlers ranked by cumulative wall time, per-event overhead,
+  scheduling statistics).  ``--flame-out`` / ``--speedscope-out``
+  additionally sample Python stacks at a wall interval and write
+  Brendan-Gregg folded stacks / speedscope JSON, phase-tagged (kernel /
+  protocol / store / workload); ``--json`` emits the machine-readable
+  snapshot.
 * ``diff`` — compare two run reports or ``BENCH_*.json`` artifacts:
   config-hash compatibility check, per-metric deltas with a noise
   threshold, and a regression verdict (markdown or ``--json``).  Exit
@@ -41,6 +49,8 @@ Examples::
     python -m repro.cli journey --consistency linearizable --slowest 3
     python -m repro.cli journey report.json     # re-open a saved report
     python -m repro.cli journey --all --duration-us 40
+    python -m repro.cli profile --consistency linearizable --top 10
+    python -m repro.cli profile --flame-out kernel.folded --speedscope-out kernel.speedscope.json
     python -m repro.cli diff baseline.json fresh.json --json
     python -m repro.cli sweep --workload B --duration-us 150
     python -m repro.cli tradeoffs --all
@@ -69,11 +79,13 @@ from repro.faults import (FaultInjector, load_fault_plan,
 from repro.obs import (
     DiffError,
     FanoutTracer,
+    FrameSampler,
     HealthMonitor,
     JourneyTracker,
     JsonlSink,
     KernelProfile,
     build_run_report,
+    format_hotspots,
     config_fingerprint,
     diff_json,
     diff_paths,
@@ -376,8 +388,37 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="track every Nth write (default: 1)")
     journey_parser.add_argument("--journey-out", metavar="PATH", default=None,
                                 help="write the run-report JSON "
-                                     "(repro.run_report/4) with the "
+                                     "(repro.run_report/5) with the "
                                      "journeys section (single model only)")
+
+    profile_parser = subparsers.add_parser(
+        "profile", help="kernel performance observatory: hotspot "
+                        "attribution and flamegraph export")
+    profile_parser.add_argument("--consistency", default="causal",
+                                choices=[c.value for c in Consistency])
+    profile_parser.add_argument("--persistency", default="synchronous",
+                                choices=[p.value for p in Persistency])
+    _add_common(profile_parser)
+    profile_parser.add_argument("--top", type=_positive(int), default=None,
+                                metavar="N",
+                                help="rows per hotspot section "
+                                     "(default: all)")
+    profile_parser.add_argument("--flame-out", metavar="PATH", default=None,
+                                help="sample Python stacks and write "
+                                     "Brendan-Gregg folded stacks "
+                                     "(flamegraph.pl / speedscope input)")
+    profile_parser.add_argument("--speedscope-out", metavar="PATH",
+                                default=None,
+                                help="sample Python stacks and write a "
+                                     "speedscope JSON profile")
+    profile_parser.add_argument("--sample-interval-ms", type=_positive(float),
+                                default=5.0,
+                                help="stack sampling wall interval "
+                                     "(default: 5 ms)")
+    profile_parser.add_argument("--json", action="store_true",
+                                dest="as_json",
+                                help="print the profile snapshot as JSON "
+                                     "instead of the hotspot table")
 
     diff_parser = subparsers.add_parser(
         "diff", help="compare two run reports / bench artifacts for "
@@ -648,6 +689,66 @@ def _cmd_journey(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    model = _model_from(args)
+    duration = args.duration_us * 1000.0
+    warmup = duration / 10
+    # Fail on an unwritable destination now, not after simulating.
+    for path in (args.flame_out, args.speedscope_out):
+        if path:
+            try:
+                open(path, "w").close()
+            except OSError as exc:
+                print(f"repro: cannot write {path}: {exc}", file=sys.stderr)
+                return 2
+    profile = KernelProfile()
+    sampler = None
+    if args.flame_out or args.speedscope_out:
+        sampler = FrameSampler(interval_s=args.sample_interval_ms / 1000.0)
+        sampler.start()
+    try:
+        summary = run_simulation(model, WORKLOADS[args.workload],
+                                 config=_config_from(args),
+                                 duration_ns=duration,
+                                 warmup_ns=warmup,
+                                 profile=profile)
+    finally:
+        if sampler is not None:
+            sampler.stop()
+    if args.as_json:
+        doc = {
+            "schema": "repro.kernel_profile/1",
+            "meta": _run_meta(args, model, duration, warmup),
+            "profile": profile.snapshot(),
+        }
+        if sampler is not None:
+            doc["sampling"] = {
+                "samples": len(sampler.samples),
+                "interval_ms": args.sample_interval_ms,
+                "phase_seconds": sampler.phase_totals(),
+            }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(f"model: {model}   throughput: "
+              f"{summary.throughput_ops_per_s / 1e6:.2f} Mops/s   "
+              f"{profile.format()}")
+        print()
+        print(format_hotspots(profile, top=args.top))
+    if sampler is not None and not args.as_json:
+        totals = sampler.phase_totals()
+        split = "  ".join(f"{phase} {seconds * 1e3:.0f}ms" for phase, seconds
+                          in sorted(totals.items(), key=lambda kv: -kv[1]))
+        print(f"\nsampled  :  {len(sampler.samples)} stacks "
+              f"(every {args.sample_interval_ms:g} ms)  {split}")
+    if args.flame_out:
+        lines = sampler.write_folded(args.flame_out)
+        print(f"folded   -> {args.flame_out} ({lines} stack lines)")
+    if args.speedscope_out:
+        sampler.write_speedscope(args.speedscope_out, name=str(model))
+        print(f"speedscope -> {args.speedscope_out}")
+    return 0
+
+
 def _cmd_diff(args) -> int:
     try:
         report = diff_paths(args.baseline, args.candidate,
@@ -726,6 +827,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "trace": _cmd_trace,
     "journey": _cmd_journey,
+    "profile": _cmd_profile,
     "diff": _cmd_diff,
     "sweep": _cmd_sweep,
     "tradeoffs": _cmd_tradeoffs,

@@ -1223,7 +1223,14 @@ class ProtocolNode:
                              version=message.version)
             handle_start = self.sim.now
         yield from self._charge_protocol_cpu()
-        yield from self._handlers[message.msg_type](message)
+        handler = self._handlers[message.msg_type](message)
+        profile = self.sim.profile
+        if profile is None:
+            yield from handler
+        else:
+            # Transparent timing shim: yields the same events in the same
+            # order, so the run stays byte-identical (see KernelProfile).
+            yield from profile.drive_handler(message.msg_type.value, handler)
         if tracing:
             self.tracer.emit(self.sim.now, "msg_handle", node=self.node_id,
                              dur=self.sim.now - handle_start,

@@ -8,8 +8,22 @@ across processes before PR 1; anything derived from it (bank mapping,
 fork seeds, bucketing) silently varies between runs.  Use
 ``hashlib.blake2b`` for stable digests or plain modulo for int keys.
 
-Legitimate wall-clock use (the kernel profiler measuring real elapsed
-time) carries an inline waiver saying so.
+Legitimate wall-clock use carries an inline waiver saying so.  Two
+families exist today, both in ``repro.obs``:
+
+* the kernel profiler (``obs/profile.py``) — measuring real elapsed
+  time *is* its job: run wall clock, per-step attribution windows,
+  handler resume segments, and the live-snapshot fix all bracket real
+  time with ``perf_counter``;
+* the frame sampler (``obs/perf.py``) — its sample weights are the
+  real seconds between polls of ``sys._current_frames()``.
+
+Both run strictly *outside* the simulation's observable behavior: they
+read clocks but never feed them back into scheduling, so determinism
+holds (enforced by the byte-identity suite in
+``tests/obs/test_tracing_equivalence.py``).  A waiver on code whose
+clock reads *can* influence event order is a bug, not a style issue —
+reject it in review.
 """
 
 from __future__ import annotations

@@ -70,7 +70,9 @@ class Nic:
 
     def receive(self) -> Event:
         """Event yielding the next inbound message."""
-        return self.inbox.get()
+        event = self.inbox.get()
+        event.kind = "msg_delivery"
+        return event
 
 
 class Network:

@@ -9,7 +9,11 @@ VP/DP events) into artifacts a human or a tool can consume:
   Perfetto / ``chrome://tracing``) and a JSONL streaming sink.
 * :mod:`repro.obs.profile` — :class:`KernelProfile`, cheap counters for
   the simulation kernel itself (events processed, heap high-water mark,
-  processes spawned, wall-clock per simulated second).
+  processes spawned, wall-clock per simulated second) plus per-event-kind
+  and per-message-handler wall attribution and scheduling statistics.
+* :mod:`repro.obs.perf` — the kernel performance observatory surface:
+  :class:`FrameSampler` (statistical sampling to folded stacks /
+  speedscope JSON, phase-tagged) and the ``repro profile`` hotspot table.
 * :mod:`repro.obs.report` — the machine-readable run-report JSON with
   windowed throughput/latency series and per-node VP/DP lag.
 * :mod:`repro.obs.fanout` — :class:`FanoutTracer` to feed one engine's
@@ -50,6 +54,12 @@ from repro.obs.monitor import (
     health_chrome_events,
     health_json,
 )
+from repro.obs.perf import (
+    FrameSampler,
+    classify_phase,
+    format_hotspots,
+    hotspot_rows,
+)
 from repro.obs.profile import KernelProfile
 from repro.obs.report import (
     build_run_report,
@@ -72,6 +82,10 @@ __all__ = [
     "health_chrome_events",
     "health_json",
     "KernelProfile",
+    "FrameSampler",
+    "classify_phase",
+    "format_hotspots",
+    "hotspot_rows",
     "build_run_report",
     "config_fingerprint",
     "write_run_report",

@@ -33,7 +33,8 @@ __all__ = ["DiffError", "MetricDelta", "DiffReport", "load_artifact",
 DIFF_SCHEMA = "repro.diff_report/1"
 
 RUN_REPORT_SCHEMAS = ("repro.run_report/1", "repro.run_report/2",
-                      "repro.run_report/3", "repro.run_report/4")
+                      "repro.run_report/3", "repro.run_report/4",
+                      "repro.run_report/5")
 BENCH_SCHEMAS = ("repro.bench/1",)
 
 #: Metric name -> direction.  "higher" means an increase is good (a
@@ -48,6 +49,19 @@ METRIC_DIRECTIONS: Dict[str, str] = {
     "p95_write_ns": "lower",
     "p99_read_ns": "lower",
     "p99_write_ns": "lower",
+}
+
+#: Wall-clock metrics (the ``profile`` section of run reports, and the
+#: kernel bench): direction-annotated so the diff *shows* whether the
+#: kernel got faster or slower, but machine-dependent, so they are
+#: always informational — ``info-better`` / ``info-worse`` verdicts
+#: that never enter the regression verdict.
+WALL_CLOCK_DIRECTIONS: Dict[str, str] = {
+    "events_per_wall_second": "higher",
+    "wall_seconds": "lower",
+    "loop_wall_seconds": "lower",
+    "wall_seconds_per_sim_second": "lower",
+    "ns_per_event": "lower",
 }
 
 DEFAULT_THRESHOLD = 0.05
@@ -76,7 +90,10 @@ class MetricDelta:
     direction: str
     """"higher" | "lower" | "info"."""
     verdict: str
-    """"ok" | "regression" | "improvement" | "info" | "n/a"."""
+    """"ok" | "regression" | "improvement" | "info" | "info-better" |
+    "info-worse" | "n/a".  The ``info-*`` verdicts are direction-
+    annotated wall-clock observations (see ``WALL_CLOCK_DIRECTIONS``);
+    they never count toward the regression verdict."""
 
 
 @dataclass
@@ -104,6 +121,12 @@ class DiffReport:
     @property
     def improvements(self) -> List[MetricDelta]:
         return [e for e in self.entries if e.verdict == "improvement"]
+
+    @property
+    def wall_clock_notes(self) -> List[MetricDelta]:
+        """Direction-annotated wall-clock rows (informational only)."""
+        return [e for e in self.entries
+                if e.verdict in ("info-better", "info-worse")]
 
     @property
     def verdict(self) -> str:
@@ -155,8 +178,17 @@ def _metric_rows(doc: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
                                if isinstance(v, (int, float))}
         return rows
     summary = doc.get("summary", {})
-    return {"summary": {k: v for k, v in summary.items()
+    rows = {"summary": {k: v for k, v in summary.items()
                         if isinstance(v, (int, float))}}
+    # The profile section (when the run was profiled): deterministic
+    # counters diff as plain info, wall-clock metrics as direction-
+    # annotated info rows (see WALL_CLOCK_DIRECTIONS).  Nested
+    # attribution/scheduling dicts are not flattened into rows.
+    profile = doc.get("profile")
+    if isinstance(profile, dict):
+        rows["profile"] = {k: v for k, v in profile.items()
+                           if isinstance(v, (int, float))}
+    return rows
 
 
 # ---------------------------------------------------------------------------
@@ -165,7 +197,9 @@ def _metric_rows(doc: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
 
 def _compare_one(label: str, metric: str, base: Optional[float],
                  cand: Optional[float], threshold: float) -> MetricDelta:
-    direction = METRIC_DIRECTIONS.get(metric, "info")
+    wall_clock = metric in WALL_CLOCK_DIRECTIONS
+    direction = (WALL_CLOCK_DIRECTIONS[metric] if wall_clock
+                 else METRIC_DIRECTIONS.get(metric, "info"))
     if (base is None or cand is None
             or (isinstance(base, float) and math.isnan(base))
             or (isinstance(cand, float) and math.isnan(cand))):
@@ -176,11 +210,11 @@ def _compare_one(label: str, metric: str, base: Optional[float],
                            "info" if direction == "info" else "n/a")
     worse = -delta if direction == "higher" else delta
     if worse > threshold:
-        verdict = "regression"
+        verdict = "info-worse" if wall_clock else "regression"
     elif -worse > threshold:
-        verdict = "improvement"
+        verdict = "info-better" if wall_clock else "improvement"
     else:
-        verdict = "ok"
+        verdict = "info" if wall_clock else "ok"
     return MetricDelta(label, metric, base, cand, delta, direction, verdict)
 
 
@@ -281,6 +315,14 @@ def format_markdown(report: DiffReport, show_ok: bool = True) -> str:
                          f"{_fmt(entry.baseline)} -> {_fmt(entry.candidate)} "
                          f"({_fmt_delta(entry.delta_frac)})")
         lines.append("")
+    if report.wall_clock_notes:
+        lines.append("Wall-clock (informational, excluded from verdict):")
+        for entry in report.wall_clock_notes:
+            arrow = "faster" if entry.verdict == "info-better" else "slower"
+            lines.append(f"* {entry.label} / {entry.metric}: "
+                         f"{_fmt(entry.baseline)} -> {_fmt(entry.candidate)} "
+                         f"({_fmt_delta(entry.delta_frac)}, {arrow})")
+        lines.append("")
     if report.only_in_baseline:
         lines.append("Only in baseline (not compared):")
         lines.extend(f"* `{key}`" for key in report.only_in_baseline)
@@ -323,6 +365,8 @@ def diff_json(report: DiffReport) -> Dict[str, Any]:
         "regressions": [f"{e.label}/{e.metric}" for e in report.regressions],
         "improvements": [f"{e.label}/{e.metric}"
                          for e in report.improvements],
+        "wall_clock_notes": [f"{e.label}/{e.metric}"
+                             for e in report.wall_clock_notes],
         "only_in_baseline": list(report.only_in_baseline),
         "only_in_candidate": list(report.only_in_candidate),
         "metrics": [

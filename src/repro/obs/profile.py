@@ -13,12 +13,29 @@ Collected:
 * ``processes_spawned`` — generator processes launched.
 * wall-clock — real seconds between :meth:`start` and :meth:`stop`,
   reported per simulated second so runs of different lengths compare.
+
+Attribution (the performance observatory, ``repro.obs.perf``):
+
+* ``by_event_kind`` — per event ``kind`` (timeout, msg_delivery,
+  process_start/end, call_at, composite, interrupt, event) the pop
+  count and cumulative wall seconds spent running its callbacks.
+* ``by_msg_type`` — per protocol :class:`~repro.core.messages.MsgType`
+  handler, the message count, cumulative wall seconds, and generator
+  resume segments (filled in by :meth:`drive_handler`, which
+  ``core.engine`` routes dispatch through when a profile is attached).
+* scheduling statistics — heap-depth histogram (power-of-two buckets),
+  same-timestamp tie-batch size histogram, defused-event and cancelled
+  -callback counts, and trampoline hops per resume.
+
+All wall-clock reads live here (waivered) so the kernel stays clean of
+``time`` imports; ``loop_wall_seconds`` brackets only the event loop, so
+attribution buckets sum to ~100% of it (the hotspot-table denominator).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Generator, List, Optional
 
 __all__ = ["KernelProfile"]
 
@@ -27,7 +44,12 @@ class KernelProfile:
     """Cheap kernel counters plus wall-clock accounting."""
 
     __slots__ = ("events_processed", "heap_peak", "processes_spawned",
-                 "_wall_start", "wall_seconds", "sim_ns")
+                 "_wall_start", "wall_seconds", "sim_ns",
+                 "loop_wall_seconds", "by_event_kind", "by_msg_type",
+                 "heap_depth_hist", "_last_stamp",
+                 "tie_batch_hist", "_tie_when", "_tie_run",
+                 "events_defused", "callbacks_cancelled",
+                 "trampoline_hops", "resume_segments")
 
     def __init__(self):
         self.events_processed = 0
@@ -36,6 +58,29 @@ class KernelProfile:
         self._wall_start: Optional[float] = None
         self.wall_seconds = 0.0
         self.sim_ns = 0.0
+        # Event-loop wall time only (between loop_enter/loop_exit); the
+        # denominator for attribution shares, excluding setup/teardown.
+        self.loop_wall_seconds = 0.0
+        # kind -> [count, wall_seconds]
+        self.by_event_kind: Dict[str, List] = {}
+        # MsgType.value -> [count, wall_seconds, resume_segments]
+        self.by_msg_type: Dict[str, List] = {}
+        # heap depth bit_length bucket -> pops observed at that depth
+        # (bucket b covers depths 2**(b-1) .. 2**b - 1; bucket 0 is depth 0)
+        self.heap_depth_hist: Dict[int, int] = {}
+        # Chained step timestamp: each step's window runs from the
+        # previous step's end, so loop overhead (pop, peek, bookkeeping)
+        # is attributed to event buckets instead of silently leaking —
+        # the buckets sum to ~100% of loop_wall_seconds.
+        self._last_stamp: Optional[float] = None
+        # tie-batch size -> batches (consecutive pops at one timestamp)
+        self.tie_batch_hist: Dict[int, int] = {}
+        self._tie_when: Optional[float] = None
+        self._tie_run = 0
+        self.events_defused = 0
+        self.callbacks_cancelled = 0
+        self.trampoline_hops = 0
+        self.resume_segments = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -55,39 +100,213 @@ class KernelProfile:
             # repro: lint-ok[wall-clock-ban] the profiler's whole job is measuring real elapsed time
             self.wall_seconds += time.perf_counter() - self._wall_start
             self._wall_start = None
+        self._flush_tie_run()
         self.sim_ns = sim_now
+
+    # -- kernel hooks --------------------------------------------------------
+    #
+    # Called by Simulator._profiled_step / run / Process._resume; never on
+    # the unprofiled path, so the cost lands only on runs that asked for it.
+
+    def step_start(self, depth: int, when: float) -> float:
+        """Before a heap pop: scheduling stats.  Returns the wall t0."""
+        self.events_processed += 1
+        if depth > self.heap_peak:
+            self.heap_peak = depth
+        bucket = depth.bit_length()
+        hist = self.heap_depth_hist
+        hist[bucket] = hist.get(bucket, 0) + 1
+        if when == self._tie_when:
+            self._tie_run += 1
+        else:
+            self._flush_tie_run()
+            self._tie_when = when
+            self._tie_run = 1
+        stamp = self._last_stamp
+        if stamp is not None:
+            # Inside a profiled loop: chain from the previous step's end
+            # so pop/peek/bookkeeping overhead stays attributed.
+            return stamp
+        # Direct step() outside run(): open a fresh window here.
+        # repro: lint-ok[wall-clock-ban] brackets one kernel step for wall attribution
+        return time.perf_counter()
+
+    def step_end(self, kind: str, defused: bool, t0: float) -> None:
+        """After the event's callbacks ran: bucket the elapsed wall."""
+        # repro: lint-ok[wall-clock-ban] brackets one kernel step for wall attribution
+        now = time.perf_counter()
+        if self._last_stamp is not None:
+            self._last_stamp = now
+        bucket = self.by_event_kind.get(kind)
+        if bucket is None:
+            bucket = self.by_event_kind[kind] = [0, 0.0]
+        bucket[0] += 1
+        bucket[1] += now - t0
+        if defused:
+            self.events_defused += 1
+
+    def loop_enter(self) -> float:
+        # repro: lint-ok[wall-clock-ban] brackets the event loop for the attribution denominator
+        t0 = time.perf_counter()
+        self._last_stamp = t0
+        return t0
+
+    def loop_exit(self, t0: float) -> None:
+        # repro: lint-ok[wall-clock-ban] brackets the event loop for the attribution denominator
+        self.loop_wall_seconds += time.perf_counter() - t0
+        self._last_stamp = None
+
+    def drive_handler(self, label: str, handler: Generator) -> Generator:
+        """Run a protocol message handler, timing each resume segment.
+
+        A transparent generator shim: yields exactly the events ``handler``
+        yields, forwards sent values and thrown exceptions unchanged, so
+        kernel scheduling (and hence the run) is byte-identical — only the
+        wall time between a resume and the next suspend is recorded under
+        ``label`` (the ``MsgType`` value).
+        """
+        stats = self.by_msg_type.get(label)
+        if stats is None:
+            stats = self.by_msg_type[label] = [0, 0.0, 0]
+        stats[0] += 1
+        value: Any = None
+        error: Optional[BaseException] = None
+        while True:
+            # repro: lint-ok[wall-clock-ban] times one handler resume segment
+            t0 = time.perf_counter()
+            try:
+                if error is None:
+                    target = handler.send(value)
+                else:
+                    target, error = handler.throw(error), None
+            except StopIteration:
+                # repro: lint-ok[wall-clock-ban] times one handler resume segment
+                stats[1] += time.perf_counter() - t0
+                return
+            except BaseException:
+                # repro: lint-ok[wall-clock-ban] times one handler resume segment
+                stats[1] += time.perf_counter() - t0
+                raise
+            # repro: lint-ok[wall-clock-ban] times one handler resume segment
+            stats[1] += time.perf_counter() - t0
+            stats[2] += 1
+            try:
+                value = yield target
+            except BaseException as exc:  # rethrown into the handler next turn
+                error = exc
+                value = None
+
+    def _flush_tie_run(self) -> None:
+        if self._tie_run:
+            hist = self.tie_batch_hist
+            hist[self._tie_run] = hist.get(self._tie_run, 0) + 1
+            self._tie_run = 0
+            self._tie_when = None
 
     # -- derived -------------------------------------------------------------
 
     @property
+    def wall_elapsed_seconds(self) -> float:
+        """Wall seconds including any still-running interval.
+
+        Mid-run (before :meth:`stop`), ``wall_seconds`` alone is the sum
+        of *closed* intervals — zero on the first lap — so live readers
+        (``HealthMonitor``, mid-run snapshots) must fold in the in-flight
+        elapsed time or they report a dishonest 0.
+        """
+        elapsed = self.wall_seconds
+        if self._wall_start is not None:
+            # repro: lint-ok[wall-clock-ban] live snapshots must include the in-flight interval
+            elapsed += time.perf_counter() - self._wall_start
+        return elapsed
+
+    @property
     def events_per_wall_second(self) -> float:
-        if self.wall_seconds <= 0:
+        wall = self.wall_elapsed_seconds
+        if wall <= 0:
             return 0.0
-        return self.events_processed / self.wall_seconds
+        return self.events_processed / wall
 
     @property
     def wall_seconds_per_sim_second(self) -> float:
         """Slowdown factor: real seconds per simulated second."""
         if self.sim_ns <= 0:
             return 0.0
-        return self.wall_seconds / (self.sim_ns * 1e-9)
+        return self.wall_elapsed_seconds / (self.sim_ns * 1e-9)
 
-    def snapshot(self) -> Dict[str, float]:
-        """The run-report ``profile`` section."""
+    @property
+    def messages_handled(self) -> int:
+        return sum(stats[0] for stats in self.by_msg_type.values())
+
+    @property
+    def attributed_wall_seconds(self) -> float:
+        """Wall seconds accounted to some event-kind bucket."""
+        return sum(bucket[1] for bucket in self.by_event_kind.values())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The run-report ``profile`` section (schema ``/5`` shape).
+
+        Flat headline counters first (the ``/4`` shape, unchanged), then
+        the ``attribution`` and ``scheduling`` subsections the
+        observatory added.  Safe to call mid-run: wall-derived values
+        include the in-flight interval (see :attr:`wall_elapsed_seconds`).
+        """
+        messages = self.messages_handled
+        loop = self.loop_wall_seconds
+        attributed = self.attributed_wall_seconds
         return {
             "events_processed": self.events_processed,
             "heap_peak": self.heap_peak,
             "processes_spawned": self.processes_spawned,
             "sim_ns": self.sim_ns,
-            "wall_seconds": self.wall_seconds,
+            "wall_seconds": self.wall_elapsed_seconds,
             "events_per_wall_second": self.events_per_wall_second,
             "wall_seconds_per_sim_second": self.wall_seconds_per_sim_second,
+            "loop_wall_seconds": loop,
+            "attribution": {
+                "by_event_kind": {
+                    kind: {"count": count, "wall_seconds": wall}
+                    for kind, (count, wall)
+                    in sorted(self.by_event_kind.items())
+                },
+                "by_msg_type": {
+                    label: {"count": count, "wall_seconds": wall,
+                            "resume_segments": segments}
+                    for label, (count, wall, segments)
+                    in sorted(self.by_msg_type.items())
+                },
+                "attributed_wall_seconds": attributed,
+                "attributed_fraction":
+                    attributed / loop if loop > 0 else 0.0,
+            },
+            "scheduling": {
+                "heap_depth_hist": {
+                    str(bucket): count for bucket, count
+                    in sorted(self.heap_depth_hist.items())
+                },
+                "tie_batch_hist": {
+                    str(size): count for size, count
+                    in sorted(self.tie_batch_hist.items())
+                },
+                "max_tie_batch":
+                    max(self.tie_batch_hist) if self.tie_batch_hist else 0,
+                "events_defused": self.events_defused,
+                "defused_ratio":
+                    self.events_defused / self.events_processed
+                    if self.events_processed else 0.0,
+                "callbacks_cancelled": self.callbacks_cancelled,
+                "trampoline_hops": self.trampoline_hops,
+                "resume_segments": self.resume_segments,
+                "messages_handled": messages,
+                "hops_per_message":
+                    self.trampoline_hops / messages if messages else 0.0,
+            },
         }
 
     def format(self) -> str:
         return (f"kernel: {self.events_processed} events, "
                 f"heap peak {self.heap_peak}, "
                 f"{self.processes_spawned} processes, "
-                f"{self.wall_seconds * 1e3:.1f} ms wall "
+                f"{self.wall_elapsed_seconds * 1e3:.1f} ms wall "
                 f"({self.events_per_wall_second / 1e6:.2f} Mevents/s, "
                 f"{self.wall_seconds_per_sim_second:.0f}x slowdown)")

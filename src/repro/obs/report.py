@@ -9,7 +9,7 @@ Durability-Point lag series, and (optionally) the kernel profile.
 Schema (see DESIGN.md "Run-report JSON" for field-level docs)::
 
     {
-      "schema": "repro.run_report/4",
+      "schema": "repro.run_report/5",
       "meta":     {model, consistency, persistency, servers, clients,
                    seed, workload, duration_ns, warmup_ns, window_ns,
                    config_hash},
@@ -36,8 +36,13 @@ pressure samples and invariant-probe violations, see docs/handbook.md)
 and the ``meta.config_hash`` fingerprint that ``repro diff`` uses to
 refuse apples-to-oranges comparisons; ``/4`` adds the optional
 ``faults`` section (the fault plan as injected, lifecycle event log,
-membership outcome, and round-retry counters, see docs/handbook.md).
-Fields of older schemas are unchanged.
+membership outcome, and round-retry counters, see docs/handbook.md);
+``/5`` enriches the ``profile`` section with the kernel performance
+observatory (``loop_wall_seconds`` plus nested ``attribution`` —
+per-event-kind and per-``MsgType``-handler wall/counts — and
+``scheduling`` — heap-depth and tie-batch histograms, defuse/cancel
+counters, trampoline hops; see docs/handbook.md "Profiling the
+kernel").  Fields of older schemas are unchanged.
 
 NaN/inf values (empty windows, models that never persist) are emitted
 as ``null`` so the document is strict JSON.
@@ -56,7 +61,7 @@ from repro.analysis.metrics import Metrics, Summary
 __all__ = ["SCHEMA", "config_fingerprint", "build_run_report",
            "write_run_report"]
 
-SCHEMA = "repro.run_report/4"
+SCHEMA = "repro.run_report/5"
 
 
 def _clean(value: Any) -> Any:

@@ -61,9 +61,17 @@ class Event:
     An event starts *pending*; it is later *triggered* exactly once with
     either :meth:`succeed` or :meth:`fail`.  Processes that yielded the
     event are resumed when the simulator processes the trigger.
+
+    ``kind`` is a profiling label: creation sites that know what an
+    event *means* (a timeout, a message delivery, a ``call_at``
+    callback, ...) overwrite the generic default so an attached
+    :class:`~repro.obs.profile.KernelProfile` can bucket kernel time by
+    event kind.  It is pure metadata — nothing in the kernel branches
+    on it, so unprofiled runs behave identically.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "defused")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "defused",
+                 "kind")
 
     def __init__(self, sim: Simulator):
         self.sim = sim
@@ -72,6 +80,7 @@ class Event:
         self._ok: Optional[bool] = None
         self._scheduled = False
         self.defused = False
+        self.kind = "event"
 
     # -- state inspection ----------------------------------------------------
 
@@ -151,6 +160,7 @@ class Timeout(Event):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(sim)
+        self.kind = "timeout"
         self._ok = True
         self._value = value
         sim._schedule(self, delay)
@@ -165,6 +175,7 @@ class Process(Event):
 
     def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
         super().__init__(sim)
+        self.kind = "process_end"
         if not hasattr(generator, "send"):
             raise TypeError(f"process requires a generator, got {generator!r}")
         self.generator = generator
@@ -173,6 +184,7 @@ class Process(Event):
         # Kick off the process via an immediately-triggered initialization
         # event, so that it starts from within the event loop.
         init = Event(sim)
+        init.kind = "process_start"
         init._ok = True
         init._value = None
         sim._schedule(init, 0.0)
@@ -192,7 +204,12 @@ class Process(Event):
                 self._target.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            else:
+                profile = self.sim.profile
+                if profile is not None:
+                    profile.callbacks_cancelled += 1
         interrupt_event = Event(self.sim)
+        interrupt_event.kind = "interrupt"
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
         interrupt_event.defused = True
@@ -200,48 +217,60 @@ class Process(Event):
         self.sim._schedule(interrupt_event, 0.0)
 
     def _resume(self, trigger: Event) -> None:
-        self.sim._active_process = self
-        event: Event = trigger
-        while True:
-            try:
-                if event._ok:
-                    target = self.generator.send(event._value)
-                else:
-                    event.defused = True
-                    target = self.generator.throw(event._value)
-            except StopIteration as stop:
-                self._target = None
-                self.sim._active_process = None
-                if self._value is PENDING:
-                    self.succeed(stop.value)
-                return
-            except BaseException as exc:
-                self._target = None
-                self.sim._active_process = None
-                if self._value is PENDING:
-                    self.fail(exc)
-                else:  # pragma: no cover - double fault
-                    raise
-                return
+        # ``hops`` counts trampoline fast-path continuations (yielding an
+        # already-processed event resumes the generator without another
+        # heap pop); the attached profile, if any, collects it on exit.
+        profile = self.sim.profile
+        hops = 0
+        try:
+            self.sim._active_process = self
+            event: Event = trigger
+            while True:
+                try:
+                    if event._ok:
+                        target = self.generator.send(event._value)
+                    else:
+                        event.defused = True
+                        target = self.generator.throw(event._value)
+                except StopIteration as stop:
+                    self._target = None
+                    self.sim._active_process = None
+                    if self._value is PENDING:
+                        self.succeed(stop.value)
+                    return
+                except BaseException as exc:
+                    self._target = None
+                    self.sim._active_process = None
+                    if self._value is PENDING:
+                        self.fail(exc)
+                    else:  # pragma: no cover - double fault
+                        raise
+                    return
 
-            if not isinstance(target, Event) or target.sim is not self.sim:
-                self._target = None
-                self.sim._active_process = None
-                self.fail(
-                    SimulationError(
-                        f"process {self.name!r} yielded invalid target {target!r}"
+                if not isinstance(target, Event) or target.sim is not self.sim:
+                    self._target = None
+                    self.sim._active_process = None
+                    self.fail(
+                        SimulationError(
+                            f"process {self.name!r} yielded invalid target "
+                            f"{target!r}"
+                        )
                     )
-                )
-                return
+                    return
 
-            if target.callbacks is None:
-                # Already processed: continue immediately with its value.
-                event = target
-                continue
-            target.callbacks.append(self._resume)
-            self._target = target
-            self.sim._active_process = None
-            return
+                if target.callbacks is None:
+                    # Already processed: continue immediately with its value.
+                    event = target
+                    hops += 1
+                    continue
+                target.callbacks.append(self._resume)
+                self._target = target
+                self.sim._active_process = None
+                return
+        finally:
+            if profile is not None:
+                profile.resume_segments += 1
+                profile.trampoline_hops += hops
 
 
 class AllOf(Event):
@@ -255,6 +284,7 @@ class AllOf(Event):
 
     def __init__(self, sim: Simulator, events: Iterable[Event]):
         super().__init__(sim)
+        self.kind = "composite"
         self._children = list(events)
         self._pending_count = 0
         for child in self._children:
@@ -290,6 +320,7 @@ class AnyOf(Event):
 
     def __init__(self, sim: Simulator, events: Iterable[Event]):
         super().__init__(sim)
+        self.kind = "composite"
         self._children = list(events)
         if not self._children:
             raise ValueError("AnyOf requires at least one event")
@@ -382,6 +413,7 @@ class Simulator:
         if when < self.now:
             raise ValueError(f"call_at into the past: {when} < {self.now}")
         event = Event(self)
+        event.kind = "call_at"
         event._ok = True
         event._value = None
         event.callbacks.append(lambda _ev: fn())
@@ -397,13 +429,28 @@ class Simulator:
         """Process the single next event."""
         profile = self.profile
         if profile is not None:
-            profile.events_processed += 1
-            depth = len(self._heap)
-            if depth > profile.heap_peak:
-                profile.heap_peak = depth
+            self._profiled_step(profile)
+            return
         when, _seq, event = heapq.heappop(self._heap)
         self.now = when
         event._run_callbacks()
+        if event._ok is False and not event.defused:
+            # A failure nobody consumed: surface it instead of losing it.
+            raise event._value
+
+    def _profiled_step(self, profile: Any) -> None:
+        """The :meth:`step` body with attribution hooks around it.
+
+        Identical scheduling semantics — same pop, same callback order —
+        so a profiled run stays byte-identical to an unprofiled one; the
+        profile merely brackets each event with wall-clock reads and
+        scheduling statistics (see ``KernelProfile.step_start/step_end``).
+        """
+        t0 = profile.step_start(len(self._heap), self._heap[0][0])
+        when, _seq, event = heapq.heappop(self._heap)
+        self.now = when
+        event._run_callbacks()
+        profile.step_end(event.kind, event.defused, t0)
         if event._ok is False and not event.defused:
             # A failure nobody consumed: surface it instead of losing it.
             raise event._value
@@ -412,23 +459,44 @@ class Simulator:
         """Run until the heap drains or ``until`` (absolute ns) is reached."""
         if until is not None and until < self.now:
             raise ValueError(f"run(until={until}) is in the past (now={self.now})")
-        while self._heap:
-            when = self._heap[0][0]
-            if until is not None and when > until:
+        profile = self.profile
+        if profile is None:
+            while self._heap:
+                when = self._heap[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    return
+                self.step()
+            if until is not None:
                 self.now = until
-                return
-            self.step()
-        if until is not None:
-            self.now = until
+            return
+        t0 = profile.loop_enter()
+        try:
+            while self._heap:
+                when = self._heap[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    return
+                self._profiled_step(profile)
+            if until is not None:
+                self.now = until
+        finally:
+            profile.loop_exit(t0)
 
     def run_until_complete(self, process: Process) -> Any:
         """Run until ``process`` finishes; return its value (or raise)."""
-        while not process.triggered:
-            if not self._heap:
-                raise SimulationError(
-                    f"deadlock: {process.name!r} still pending with no events"
-                )
-            self.step()
+        profile = self.profile
+        t0 = profile.loop_enter() if profile is not None else 0.0
+        try:
+            while not process.triggered:
+                if not self._heap:
+                    raise SimulationError(
+                        f"deadlock: {process.name!r} still pending with no events"
+                    )
+                self.step()
+        finally:
+            if profile is not None:
+                profile.loop_exit(t0)
         if not process.ok:
             # The caller consumes the failure here; the process's own
             # completion event (still queued) must not re-raise it.

@@ -89,7 +89,7 @@ class TestCommands:
         assert trace["otherData"]["record_count"] > 0
 
         report = json.loads(report_path.read_text())
-        assert report["schema"] == "repro.run_report/4"
+        assert report["schema"] == "repro.run_report/5"
         assert report["meta"]["window_ns"] == 5000.0
         assert len(report["meta"]["config_hash"]) == 16
         assert report["windows"], "windowed throughput series missing"
@@ -103,6 +103,9 @@ class TestCommands:
         assert "vp_mean_ns" in first_node[0]
         assert "dp_p99_ns" in first_node[0]
         assert report["profile"]["events_processed"] > 0
+        # The /5 enrichment rides along whenever --profile is set.
+        assert report["profile"]["attribution"]["by_event_kind"]
+        assert report["profile"]["scheduling"]["messages_handled"] > 0
         assert report["trace"]["records"] > 0
 
         lines = jsonl_path.read_text().splitlines()
@@ -185,6 +188,59 @@ class TestCommands:
         report = json.loads(report_path.read_text())
         assert report["journeys"]["journeys"] == 5
         assert report["journeys"]["dropped"] > 0
+
+    def test_profile_prints_the_hotspot_table(self, capsys):
+        code = main(["profile", "--servers", "3", "--clients", "6",
+                     "--duration-us", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "kernel loop:" in out
+        assert "by event kind" in out
+        assert "by message handler" in out
+        assert "timeout" in out
+        assert "scheduling:" in out
+
+    def test_profile_json_document(self, capsys):
+        code = main(["profile", "--servers", "3", "--clients", "6",
+                     "--duration-us", "30", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["schema"] == "repro.kernel_profile/1"
+        assert doc["meta"]["config_hash"]
+        profile = doc["profile"]
+        assert profile["events_processed"] > 0
+        assert profile["attribution"]["by_msg_type"]
+        assert profile["attribution"]["attributed_fraction"] > 0.9
+        assert "sampling" not in doc  # sampler is opt-in
+
+    def test_profile_writes_flame_artifacts(self, capsys, tmp_path):
+        folded = tmp_path / "run.folded"
+        speedscope = tmp_path / "run.speedscope.json"
+        code = main(["profile", "--servers", "3", "--clients", "6",
+                     "--duration-us", "200",
+                     "--sample-interval-ms", "0.25",
+                     "--flame-out", str(folded),
+                     "--speedscope-out", str(speedscope)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert str(folded) in out and str(speedscope) in out
+        lines = folded.read_text().splitlines()
+        assert lines, "sampler captured nothing in 200 simulated us"
+        for line in lines:
+            stack, _, weight = line.rpartition(" ")
+            assert int(weight) >= 1
+            assert ";" in stack or stack  # phase-rooted folded stack
+        doc = json.loads(speedscope.read_text())
+        assert doc["profiles"][0]["type"] == "sampled"
+
+    def test_profile_unwritable_out_exits_2(self, capsys, tmp_path):
+        code = main(["profile", "--servers", "3", "--clients", "6",
+                     "--duration-us", "30",
+                     "--flame-out", str(tmp_path / "no-dir" / "x.folded")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot write" in captured.err
 
 
 class TestInputFileModes:

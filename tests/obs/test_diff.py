@@ -174,6 +174,111 @@ class TestBenchArtifacts:
             [("<Linearizable, Strict>", "regression")]
 
 
+class TestWallClockProfileRows:
+    """Profiled run reports diff their wall-clock metrics as
+    direction-annotated *informational* rows: the reader sees whether
+    the kernel got faster or slower, the verdict never does."""
+
+    def _profiled(self, events_per_wall_second=80_000.0,
+                  wall_seconds=2.0, **extra):
+        doc = _run_report(schema="repro.run_report/5")
+        doc["profile"] = {
+            "events_processed": 250_000,
+            "events_per_wall_second": events_per_wall_second,
+            "wall_seconds": wall_seconds,
+            "loop_wall_seconds": wall_seconds * 0.9,
+            "attribution": {"by_event_kind": {"timeout": {"count": 1}}},
+            "scheduling": {"messages_handled": 9},
+        }
+        doc["profile"].update(extra)
+        return doc
+
+    def test_profile_row_compared_for_run_reports(self):
+        report = diff_documents(self._profiled(), self._profiled())
+        labels = {e.label for e in report.entries}
+        assert "profile" in labels
+        # Nested attribution/scheduling dicts are not flattened.
+        metrics = {e.metric for e in report.entries if e.label == "profile"}
+        assert metrics == {"events_processed", "events_per_wall_second",
+                           "wall_seconds", "loop_wall_seconds"}
+
+    def test_slower_kernel_is_info_worse_never_a_regression(self):
+        report = diff_documents(
+            self._profiled(events_per_wall_second=100_000.0),
+            self._profiled(events_per_wall_second=50_000.0))  # half speed
+        (entry,) = [e for e in report.entries
+                    if e.metric == "events_per_wall_second"]
+        assert entry.verdict == "info-worse"
+        assert report.verdict == "no-regression"
+        assert report.regressions == []
+        assert entry in report.wall_clock_notes
+
+    def test_faster_kernel_is_info_better_not_an_improvement(self):
+        report = diff_documents(self._profiled(wall_seconds=2.0),
+                                self._profiled(wall_seconds=1.0))
+        walls = [e for e in report.entries
+                 if e.metric in ("wall_seconds", "loop_wall_seconds")]
+        assert {e.verdict for e in walls} == {"info-better"}
+        assert report.improvements == []
+
+    def test_wall_clock_noise_is_plain_info(self):
+        report = diff_documents(self._profiled(wall_seconds=2.0),
+                                self._profiled(wall_seconds=2.02))  # +1%
+        (entry,) = [e for e in report.entries
+                    if e.metric == "wall_seconds"]
+        assert entry.verdict == "info"
+        assert entry not in report.wall_clock_notes
+
+    def test_deterministic_profile_counters_stay_info(self):
+        """events_processed is seed-determined, not wall-clock: it
+        diffs like any other unlisted counter."""
+        report = diff_documents(self._profiled(), self._profiled())
+        (entry,) = [e for e in report.entries
+                    if e.metric == "events_processed"]
+        assert entry.direction == "info"
+        assert entry.verdict == "info"
+
+    def test_markdown_has_an_informational_section(self):
+        report = diff_documents(
+            self._profiled(events_per_wall_second=100_000.0),
+            self._profiled(events_per_wall_second=150_000.0,
+                           wall_seconds=3.0))
+        text = format_markdown(report)
+        assert "Wall-clock (informational, excluded from verdict):" in text
+        assert "faster" in text and "slower" in text
+        assert "Regressions:" not in text
+
+    def test_json_lists_wall_clock_notes_separately(self):
+        report = diff_documents(
+            self._profiled(events_per_wall_second=100_000.0),
+            self._profiled(events_per_wall_second=50_000.0))
+        doc = diff_json(report)
+        assert doc["verdict"] == "no-regression"
+        assert doc["regressions"] == []
+        assert "profile/events_per_wall_second" in doc["wall_clock_notes"]
+        json.dumps(doc, allow_nan=False)
+
+    def test_kernel_bench_rows_get_the_same_treatment(self):
+        """BENCH_kernel.json points carry the same wall-clock metric
+        names; per-label bench rows inherit the informational verdicts."""
+        base = _bench(**{"causal-eventual-3s":
+                         {"events_per_wall_second": 80_000.0,
+                          "throughput_ops_per_s": 1e8}})
+        cand = _bench(**{"causal-eventual-3s":
+                         {"events_per_wall_second": 40_000.0,
+                          "throughput_ops_per_s": 1e8}})
+        report = diff_documents(base, cand)
+        (entry,) = report.wall_clock_notes
+        assert entry.label == "causal-eventual-3s"
+        assert entry.verdict == "info-worse"
+        assert report.verdict == "no-regression"
+
+    def test_unprofiled_reports_have_no_profile_row(self):
+        report = diff_documents(_run_report(), _run_report())
+        assert all(e.label == "summary" for e in report.entries)
+        assert report.wall_clock_notes == []
+
+
 class TestLoading:
     def test_roundtrip_via_paths(self, tmp_path):
         base, cand = tmp_path / "a.json", tmp_path / "b.json"

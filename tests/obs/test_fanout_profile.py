@@ -1,5 +1,7 @@
 """Tests for the fan-out tracer and the kernel profiler."""
 
+import pytest
+
 from repro.obs import FanoutTracer, KernelProfile
 from repro.sim.engine import Simulator
 from repro.sim.trace import NullTracer, Tracer
@@ -88,3 +90,84 @@ class TestKernelProfile:
 
         sim.process(worker())
         sim.run(until=10.0)  # must not raise, no profile attached
+
+    def test_snapshot_mid_run_reports_live_wall_clock(self):
+        """Before stop(), wall_seconds has accumulated nothing — a live
+        snapshot (the HealthMonitor's view) must fold in the in-flight
+        interval instead of reporting 0 events/sec forever."""
+        profile = KernelProfile()
+        profile.start()
+        while profile.wall_elapsed_seconds == 0.0:
+            pass  # perf_counter ticks fast; one lap is enough
+        profile.events_processed = 1000
+        assert profile.wall_seconds == 0.0  # the bug this guards against
+        snapshot = profile.snapshot()
+        assert snapshot["wall_seconds"] > 0.0
+        assert snapshot["events_per_wall_second"] > 0.0
+        assert profile.events_per_wall_second > 0.0
+
+    def test_stop_freezes_the_live_clock(self):
+        profile = KernelProfile()
+        self._run_tiny_sim(profile)
+        frozen = profile.wall_elapsed_seconds
+        assert frozen == profile.wall_seconds  # stopped: no drift
+        assert profile.snapshot()["wall_seconds"] == frozen
+
+    def test_loop_wall_and_attribution_sections(self):
+        profile = KernelProfile()
+        self._run_tiny_sim(profile)
+        snapshot = profile.snapshot()
+        assert 0.0 < snapshot["loop_wall_seconds"] <= \
+            profile.wall_elapsed_seconds
+        kinds = snapshot["attribution"]["by_event_kind"]
+        assert kinds["timeout"]["count"] == 15  # 3 workers x 5 timeouts
+        assert kinds["process_start"]["count"] == 3
+        assert sum(k["count"] for k in kinds.values()) == \
+            snapshot["events_processed"]
+        # No protocol engine in a tiny sim: no handler rows.
+        assert snapshot["attribution"]["by_msg_type"] == {}
+        assert snapshot["attribution"]["attributed_fraction"] == \
+            pytest.approx(1.0, abs=0.05)
+
+    def test_drive_handler_is_transparent(self):
+        """The per-MsgType driver forwards yields, sends, and return
+        values unchanged while accumulating per-label stats."""
+        sim = Simulator()
+        profile = KernelProfile()
+        profile.attach(sim)
+        seen = []
+
+        def handler():
+            value = yield sim.timeout(2.0, "tick")
+            seen.append(value)
+            yield sim.timeout(3.0)
+
+        def wrapper():
+            yield from profile.drive_handler("INV", handler())
+
+        sim.process(wrapper())
+        sim.run()
+        profile.stop(sim.now)
+
+        assert seen == ["tick"]
+        assert sim.now == 5.0
+        assert profile.by_msg_type["INV"][0] == 1  # one message
+        assert profile.by_msg_type["INV"][2] == 2  # two resume segments
+        assert profile.by_msg_type["INV"][1] > 0.0  # some wall accrued
+
+    def test_drive_handler_propagates_exceptions(self):
+        sim = Simulator()
+        profile = KernelProfile()
+        profile.attach(sim)
+
+        def handler():
+            yield sim.timeout(1.0)
+            raise ValueError("boom")
+
+        def wrapper():
+            with pytest.raises(ValueError, match="boom"):
+                yield from profile.drive_handler("ACK", handler())
+
+        sim.process(wrapper())
+        sim.run()
+        assert profile.by_msg_type["ACK"][0] == 1

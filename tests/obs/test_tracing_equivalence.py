@@ -116,6 +116,30 @@ class TestTracingDoesNotPerturb:
             pytest.approx(dataclasses.asdict(summary_on), nan_ok=True)
         assert stores_off == stores_on
 
+    @pytest.mark.parametrize("model", MODELS, ids=str)
+    def test_profiled_trace_byte_identical(self, model, tmp_path):
+        """The acceptance bar for the performance observatory: a run
+        with the full attribution profiler attached — per-kind wall
+        bucketing in the step loop, the per-MsgType handler driver in
+        dispatch — records byte-for-byte the trace of an unprofiled run.
+        The counters observe the schedule; they never become part of it."""
+        contents = []
+        for profiled in (False, True):
+            tracer = Tracer()
+            profile = KernelProfile() if profiled else None
+            _run(model, tracer=tracer, profile=profile)
+            path = tmp_path / f"p{profiled}.json"
+            write_chrome_trace(str(path), tracer.records,
+                               dropped=tracer.dropped)
+            contents.append(path.read_bytes())
+            if profiled:
+                attribution = profile.snapshot()["attribution"]
+                assert attribution["by_event_kind"], \
+                    "profiler saw no events; wiring is broken"
+                assert attribution["by_msg_type"], \
+                    "handler driver never engaged; wiring is broken"
+        assert contents[0] == contents[1]
+
 
 class TestFaultInjectionEquivalence:
     """The injector obeys the same discipline as the monitor: attached
