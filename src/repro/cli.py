@@ -28,6 +28,12 @@ Subcommands:
   config-hash compatibility check, per-metric deltas with a noise
   threshold, and a regression verdict (markdown or ``--json``).  Exit
   codes: 0 no regression, 1 regression, 2 unusable/incompatible input.
+* ``audit`` — the black-box contract auditor: verify a recorded client
+  history (``run --history-out``) against all 25 consistency/persistency
+  cells from observation alone and print the verdict matrix (or the
+  ``repro.audit_report/1`` JSON with ``--json``).  ``run --audit`` does
+  the record-and-audit round trip in one command.  Exit codes: 0 target
+  model passes, 1 contract violation, 2 unusable history.
 * ``sweep`` — run several models on the same workload, normalized to
   <Linearizable, Synchronous> (a one-line Figure 6 slice).
 * ``tradeoffs`` — print the derived Table 4 (or the full 25-model grid).
@@ -52,6 +58,9 @@ Examples::
     python -m repro.cli profile --consistency linearizable --top 10
     python -m repro.cli profile --flame-out kernel.folded --speedscope-out kernel.speedscope.json
     python -m repro.cli diff baseline.json fresh.json --json
+    python -m repro.cli run --audit --consistency linearizable
+    python -m repro.cli run --history-out h.jsonl --crash 1@120+60
+    python -m repro.cli audit h.jsonl --consistency eventual
     python -m repro.cli sweep --workload B --duration-us 150
     python -m repro.cli tradeoffs --all
     python -m repro.cli recover --persistency eventual --strategy majority
@@ -67,6 +76,7 @@ from typing import List, Optional
 
 from repro.analysis.metrics import Metrics
 from repro.analysis.points import PointsTracker
+from repro.audit import audit_exit_code, audit_history, format_audit_table
 from repro.analysis.report import format_summary_table
 from repro.analysis.waterfall import aggregate_journeys, format_waterfall
 from repro.cluster.cluster import Cluster, run_simulation
@@ -81,6 +91,7 @@ from repro.obs import (
     FanoutTracer,
     FrameSampler,
     HealthMonitor,
+    HistoryRecorder,
     JourneyTracker,
     JsonlSink,
     KernelProfile,
@@ -93,7 +104,10 @@ from repro.obs import (
     health_chrome_events,
     journey_chrome_events,
     load_artifact,
+    load_history,
+    recovered_from_cluster,
     write_chrome_trace,
+    write_history,
     write_run_report,
 )
 from repro.recovery.replayer import RecoveryReplayer
@@ -178,6 +192,20 @@ def _add_observability(parser: argparse.ArgumentParser) -> None:
                         help="max health samples kept (default: 10000)")
     parser.add_argument("--health-top-k", type=int, default=8,
                         help="hot keys tracked per sample (default: 8)")
+    parser.add_argument("--history-out", metavar="PATH", default=None,
+                        help="record every client-observed operation and "
+                             "write the repro.history/1 JSONL artifact "
+                             "(the black-box contract auditor's input)")
+    parser.add_argument("--audit", action="store_true",
+                        help="record the client history and audit it "
+                             "against the 5x5 consistency/persistency "
+                             "matrix after the run; exit code 1 if the "
+                             "run's own model fails its contract")
+    parser.add_argument("--history-limit", type=_positive(int),
+                        default=1_000_000, metavar="N",
+                        help="max recorded operations (default: 1M); an "
+                             "over-limit history is truncated and "
+                             "audits as unusable")
 
 
 def _run_meta(args, model: DdpModel, duration_ns: float,
@@ -218,7 +246,8 @@ class _Observability:
         want_metrics = bool(getattr(args, "metrics_out", None)) or want_journey
         # Fail on an unwritable destination now, not after simulating.
         for path in (getattr(args, "trace_out", None), args.metrics_out,
-                     getattr(args, "journey_out", None)):
+                     getattr(args, "journey_out", None),
+                     getattr(args, "history_out", None)):
             if path:
                 try:
                     open(path, "w").close()
@@ -226,6 +255,11 @@ class _Observability:
                     raise SystemExit(
                         f"repro: cannot write {path}: {exc}") from exc
         self.window_ns = args.metrics_window_us * 1000.0
+        self.recorder = (HistoryRecorder(
+                             max_ops=getattr(args, "history_limit",
+                                             1_000_000))
+                         if (getattr(args, "history_out", None)
+                             or getattr(args, "audit", False)) else None)
         self.tracer = (Tracer(max_records=args.trace_limit,
                               ring=args.trace_ring)
                        if want_trace else None)
@@ -254,7 +288,7 @@ class _Observability:
                               else FanoutTracer(sinks) if sinks else None)
 
     def finalize(self, args, model: DdpModel, summary, duration_ns: float,
-                 warmup_ns: float, faults=None) -> None:
+                 warmup_ns: float, faults=None, audit=None) -> None:
         """Write the requested artifacts after the run."""
         if self.jsonl is not None:
             self.jsonl.close()
@@ -283,7 +317,7 @@ class _Observability:
                                       tracer=self.tracer,
                                       journeys=waterfall,
                                       monitor=self.monitor,
-                                      faults=faults)
+                                      faults=faults, audit=audit)
             write_run_report(args.metrics_out, report)
             print(f"metrics  -> {args.metrics_out} "
                   f"(window {args.metrics_window_us:g} us)")
@@ -294,7 +328,7 @@ class _Observability:
                                       tracer=self.tracer,
                                       journeys=waterfall,
                                       monitor=self.monitor,
-                                      faults=faults)
+                                      faults=faults, audit=audit)
             write_run_report(args.journey_out, report)
             print(f"journeys -> {args.journey_out} "
                   f"({len(self.journey)} tracked, "
@@ -388,7 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="track every Nth write (default: 1)")
     journey_parser.add_argument("--journey-out", metavar="PATH", default=None,
                                 help="write the run-report JSON "
-                                     "(repro.run_report/5) with the "
+                                     "(repro.run_report/6) with the "
                                      "journeys section (single model only)")
 
     profile_parser = subparsers.add_parser(
@@ -438,6 +472,26 @@ def build_parser() -> argparse.ArgumentParser:
                              help="also write the JSON diff document here")
     diff_parser.add_argument("--force", action="store_true",
                              help="compare despite a config-hash mismatch")
+
+    audit_parser = subparsers.add_parser(
+        "audit", help="verify a recorded client history against the 5x5 "
+                      "consistency/persistency matrix")
+    audit_parser.add_argument("history", metavar="HISTORY.jsonl",
+                              help="repro.history/1 artifact from "
+                                   "run --history-out")
+    audit_parser.add_argument("--consistency", default=None,
+                              choices=[c.value for c in Consistency],
+                              help="override the target consistency model "
+                                   "(default: the history's run metadata)")
+    audit_parser.add_argument("--persistency", default=None,
+                              choices=[p.value for p in Persistency],
+                              help="override the target persistency model "
+                                   "(default: the history's run metadata)")
+    audit_parser.add_argument("--json", action="store_true", dest="as_json",
+                              help="print the repro.audit_report/1 JSON "
+                                   "instead of the verdict table")
+    audit_parser.add_argument("--out", metavar="PATH", default=None,
+                              help="also write the JSON audit report here")
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="compare models on one workload")
@@ -491,7 +545,8 @@ def _print_fault_outcome(cluster, injector) -> int:
     retargeted = sum(e.rounds_retargeted for e in cluster.engines)
     print(f"\nfaults   :  crashes={injector.crashes} "
           f"detections={injector.detections} restarts={injector.restarts} "
-          f"txns-abandoned={injector.txns_abandoned}")
+          f"txns-abandoned={injector.txns_abandoned} "
+          f"ops-severed={injector.ops_severed}")
     print(f"network  :  dropped={network.dropped_messages} "
           f"delayed={network.delayed_messages} "
           f"duplicated={network.duplicated_messages}")
@@ -522,7 +577,8 @@ def _cmd_run(args) -> int:
                       metrics=obs.metrics,
                       profile=obs.profile,
                       monitor=obs.monitor,
-                      faults=injector)
+                      faults=injector,
+                      history=obs.recorder)
     summary = cluster.run(duration, warmup_ns=warmup)
     print(format_summary_table([(str(model), summary)]))
     print(f"\npersists={summary.persists}  messages={summary.total_messages}"
@@ -531,7 +587,23 @@ def _cmd_run(args) -> int:
     exit_code = 0
     if injector is not None:
         exit_code = _print_fault_outcome(cluster, injector)
-    obs.finalize(args, model, summary, duration, warmup, faults=injector)
+    audit_report = None
+    if obs.recorder is not None:
+        obs.recorder.meta = _run_meta(args, model, duration, warmup)
+        obs.recorder.recovered = recovered_from_cluster(cluster)
+        history = obs.recorder.history()
+        if args.history_out:
+            write_history(args.history_out, history)
+            print(f"history  -> {args.history_out} "
+                  f"({len(history.ops)} ops, "
+                  f"{history.dropped} dropped)")
+        if args.audit:
+            audit_report = audit_history(history)
+            print()
+            print(format_audit_table(audit_report))
+            exit_code = max(exit_code, audit_exit_code(audit_report))
+    obs.finalize(args, model, summary, duration, warmup, faults=injector,
+                 audit=audit_report)
     return exit_code
 
 
@@ -769,6 +841,25 @@ def _cmd_diff(args) -> int:
     return 1 if report.verdict == "regression" else 0
 
 
+def _cmd_audit(args) -> int:
+    try:
+        history = load_history(args.history)
+    except (OSError, ValueError) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    report = audit_history(history, consistency=args.consistency,
+                           persistency=args.persistency)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_audit_table(report))
+    return audit_exit_code(report)
+
+
 def _cmd_sweep(args) -> int:
     duration = args.duration_us * 1000.0
     if args.all:
@@ -829,6 +920,7 @@ _COMMANDS = {
     "journey": _cmd_journey,
     "profile": _cmd_profile,
     "diff": _cmd_diff,
+    "audit": _cmd_audit,
     "sweep": _cmd_sweep,
     "tradeoffs": _cmd_tradeoffs,
     "recover": _cmd_recover,

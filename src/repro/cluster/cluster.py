@@ -36,7 +36,7 @@ class Cluster:
     def __init__(self, model: DdpModel, config: Optional[ClusterConfig] = None,
                  workload: Optional[WorkloadSpec] = None, tracer=None,
                  version_board=None, metrics: Optional[Metrics] = None,
-                 profile=None, monitor=None, faults=None):
+                 profile=None, monitor=None, faults=None, history=None):
         self.model = model
         self.config = config or ClusterConfig()
         self.workload = workload
@@ -63,6 +63,11 @@ class Cluster:
                  version_board=version_board, membership=self.membership)
             for node_id in range(self.config.servers)
         ]
+        # Optional repro.obs.history.HistoryRecorder for the black-box
+        # audit: attached to every client, pure observation.
+        self.history = history
+        if history is not None:
+            history.sim = self.sim
         self.clients: List[Client] = []
         if workload is not None:
             self._build_clients(workload)
@@ -86,7 +91,8 @@ class Cluster:
                     workload, self.rng.fork(f"client{client_id}"))
                 self.clients.append(
                     Client(self.sim, client_id, node.engine, stream,
-                           self.metrics, record_ops=record_ops))
+                           self.metrics, record_ops=record_ops,
+                           history=self.history))
                 client_id += 1
 
     # -- running --------------------------------------------------------------------
@@ -114,6 +120,10 @@ class Cluster:
             # Stop re-arming the sampling tick; anything the caller runs
             # on this simulator afterwards (e.g. recovery) is unsampled.
             self.monitor.stop(self.sim.now)
+        if self.history is not None:
+            # Operations still in flight at the end of the run stay
+            # pending: the recorder never learned their outcome.
+            self.history.finalize()
         return self.metrics.summarize(self.sim.now)
 
     # -- failure injection --------------------------------------------------------------
@@ -126,7 +136,7 @@ class Cluster:
     def crash_node(self, node_id: int) -> None:
         self.nodes[node_id].crash()
 
-    def fail_node(self, node_id: int) -> None:
+    def fail_node(self, node_id: int) -> int:
         """Mid-run node failure: crash the node and cut its clients off.
 
         Each of the node's client processes is interrupted (a client of
@@ -134,13 +144,20 @@ class Cluster:
         abandoned mid-protocol).  Membership detection is *not* part of
         this call — the fault injector schedules it separately after the
         plan's detection delay, modeling the failure-detector lag.
+
+        Returns the number of operations severed mid-flight, so the
+        injector can account for them instead of dropping them silently.
         """
         self.nodes[node_id].crash()
+        severed = 0
         for client in self.clients:
             if (client.node.node_id == node_id
                     and client.process is not None
                     and client.process.is_alive):
+                if client.in_flight is not None:
+                    severed += 1
                 client.process.interrupt("node crashed")
+        return severed
 
     def restart_node(self, node_id: int) -> None:
         """Recover a crashed node from its own durable image and
@@ -161,7 +178,8 @@ def run_simulation(model: DdpModel, workload: WorkloadSpec,
                    duration_ns: float = 300_000.0,
                    warmup_ns: float = 30_000.0,
                    tracer=None, metrics: Optional[Metrics] = None,
-                   profile=None, monitor=None, faults=None) -> Summary:
+                   profile=None, monitor=None, faults=None,
+                   history=None) -> Summary:
     """Build, run, and summarize one experiment.
 
     The defaults (300 us measured window after 30 us warmup) keep single
@@ -171,8 +189,10 @@ def run_simulation(model: DdpModel, workload: WorkloadSpec,
     observability sinks (see :mod:`repro.obs`) without changing the run.
     ``faults`` takes a :class:`repro.faults.FaultInjector`; with an
     empty plan the run is also unchanged (see :mod:`repro.faults`).
+    ``history`` takes a :class:`repro.obs.history.HistoryRecorder` for
+    black-box auditing (see :mod:`repro.audit`), likewise inert.
     """
     cluster = Cluster(model, config=config, workload=workload,
                       tracer=tracer, metrics=metrics, profile=profile,
-                      monitor=monitor, faults=faults)
+                      monitor=monitor, faults=faults, history=history)
     return cluster.run(duration_ns, warmup_ns)

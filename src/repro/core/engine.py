@@ -649,46 +649,69 @@ class ProtocolNode:
         if self.cpolicy.transactional and ctx.txn is not None:
             self.txn_table.check_access(ctx.txn, key, is_write=False)
 
-        # Consistency stall: Linearizable / Read-Enforced reads wait until
-        # no invalidation is outstanding on the key (all replicas updated,
-        # and — when ACKs also cover persists — persisted).
-        if self.cpolicy.read_stalls_on_transient and replica.transient:
-            self.metrics.read_stalls += 1
-            if self.ppolicy.dual_acks:
-                # Under Read-Enforced persistency the transient state only
-                # clears at VAL_p, so this stall is a read racing a
-                # yet-to-persist write (the conflicts of Section 8.1.2).
-                self.metrics.reads_blocked_by_unpersisted += 1
-            stall_start = self.sim.now
-            yield replica.condition.wait_for(lambda: not replica.transient)
-            if self.tracer.enabled:
-                self.tracer.emit(self.sim.now, "read_stall",
-                                 node=self.node_id,
-                                 dur=self.sim.now - stall_start, key=key)
-
-        # Persistency stall: Read-Enforced persistency forbids reading a
-        # version that is not yet durable.  Under invalidation-based
-        # consistency the signal is cluster-wide (VAL_p); under Causal /
-        # Eventual consistency only local durability is knowable.
-        if self.ppolicy.read_requires_applied_persisted:
-            target = replica.applied_version
-            stall_start = self.sim.now
-            if self.cpolicy.uses_inv:
-                if replica.cluster_persisted_version < target:
+        # The stalls and the memory read loop until the guards hold for
+        # the state the read actually samples: the volatile read costs
+        # simulated time, so a write racing in during it could otherwise
+        # slip an unvalidated (or, under Read-Enforced persistency, a
+        # not-yet-durable) version past guards that were checked against
+        # an older snapshot.
+        while True:
+            # Consistency stall: Linearizable / Read-Enforced reads wait
+            # until no invalidation is outstanding on the key (all
+            # replicas updated, and — when ACKs also cover persists —
+            # persisted).
+            if self.cpolicy.read_stalls_on_transient and replica.transient:
+                self.metrics.read_stalls += 1
+                if self.ppolicy.dual_acks:
+                    # Under Read-Enforced persistency the transient state
+                    # only clears at VAL_p, so this stall is a read racing
+                    # a yet-to-persist write (the conflicts of
+                    # Section 8.1.2).
                     self.metrics.reads_blocked_by_unpersisted += 1
-                    yield replica.condition.wait_for(
-                        lambda: replica.cluster_persisted_version >= target)
-            else:
-                if replica.persisted_version < target:
-                    self.metrics.reads_blocked_by_unpersisted += 1
-                    yield replica.condition.wait_for(
-                        lambda: replica.persisted_version >= target)
-            if self.tracer.enabled and self.sim.now > stall_start:
-                self.tracer.emit(self.sim.now, "read_blocked_unpersisted",
-                                 node=self.node_id,
-                                 dur=self.sim.now - stall_start, key=key)
+                stall_start = self.sim.now
+                yield replica.condition.wait_for(lambda: not replica.transient)
+                if self.tracer.enabled:
+                    self.tracer.emit(self.sim.now, "read_stall",
+                                     node=self.node_id,
+                                     dur=self.sim.now - stall_start, key=key)
 
-        yield from self.memory.volatile_read(key)
+            # Persistency stall: Read-Enforced persistency forbids reading
+            # a version that is not yet durable.  Under invalidation-based
+            # consistency the signal is cluster-wide (VAL_p); under
+            # Causal / Eventual consistency only local durability is
+            # knowable.
+            if self.ppolicy.read_requires_applied_persisted:
+                target = replica.applied_version
+                stall_start = self.sim.now
+                if self.cpolicy.uses_inv:
+                    if replica.cluster_persisted_version < target:
+                        self.metrics.reads_blocked_by_unpersisted += 1
+                        yield replica.condition.wait_for(
+                            lambda: replica.cluster_persisted_version >= target)
+                else:
+                    if replica.persisted_version < target:
+                        self.metrics.reads_blocked_by_unpersisted += 1
+                        yield replica.condition.wait_for(
+                            lambda: replica.persisted_version >= target)
+                if self.tracer.enabled and self.sim.now > stall_start:
+                    self.tracer.emit(self.sim.now, "read_blocked_unpersisted",
+                                     node=self.node_id,
+                                     dur=self.sim.now - stall_start, key=key)
+
+            yield from self.memory.volatile_read(key)
+
+            # Re-validate against what is visible *now*; a write applied
+            # during the memory read restarts the guarded sequence.
+            if self.cpolicy.read_stalls_on_transient and replica.transient:
+                continue
+            if self.ppolicy.read_requires_applied_persisted:
+                target = replica.applied_version
+                if self.cpolicy.uses_inv:
+                    if replica.cluster_persisted_version < target:
+                        continue
+                elif replica.persisted_version < target:
+                    continue
+            break
 
         if self.ppolicy.read_returns_persisted and not self.cpolicy.uses_inv:
             # <Causal/Eventual, Synchronous>: return the latest *persisted*

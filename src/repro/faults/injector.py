@@ -67,6 +67,7 @@ class FaultInjector:
         self.restarts = 0
         self.txns_abandoned = 0
         self.nvm_slow_windows = 0
+        self.ops_severed = 0
 
     def __len__(self) -> int:
         return len(self.records)
@@ -167,9 +168,14 @@ class FaultInjector:
     def _crash(self, event: FaultEvent) -> None:
         node_id = event.node
         self.crashes += 1
-        self._record("crash", node=node_id)
-        self._emit("crash", node=node_id)
-        self._cluster.fail_node(node_id)
+        severed = self._cluster.fail_node(node_id)
+        # Operations cut off mid-flight used to vanish from the books;
+        # they are counted here (and recorded as pending in the
+        # operation history, when one is attached): each may or may not
+        # have taken effect.
+        self.ops_severed += severed
+        self._record("crash", node=node_id, ops_severed=severed)
+        self._emit("crash", node=node_id, ops_severed=severed)
         self._sim.call_at(self._sim.now + self.plan.detection_delay_ns,
                           lambda: self._detect(node_id))
         if event.restart_after_ns is not None:
@@ -277,7 +283,7 @@ class FaultInjector:
 
 
 def faults_json(injector: FaultInjector) -> Dict[str, Any]:
-    """Build the ``faults`` section of a ``repro.run_report/5`` document."""
+    """Build the ``faults`` section of a ``repro.run_report/6`` document."""
     cluster = injector._cluster
     membership = injector._membership
     network = cluster.network if cluster is not None else None
@@ -294,6 +300,7 @@ def faults_json(injector: FaultInjector) -> Dict[str, Any]:
             "detections": injector.detections,
             "restarts": injector.restarts,
             "txns_abandoned": injector.txns_abandoned,
+            "ops_severed": injector.ops_severed,
             "nvm_slow_windows": injector.nvm_slow_windows,
             "messages_dropped": (network.dropped_messages
                                  if network is not None else 0),

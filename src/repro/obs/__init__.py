@@ -27,6 +27,9 @@ VP/DP events) into artifacts a human or a tool can consume:
 * :mod:`repro.obs.diff` — cross-run regression diffing of run reports
   and ``BENCH_*.json`` artifacts (the ``repro diff`` subcommand and the
   CI perf gate).
+* :mod:`repro.obs.history` — :class:`HistoryRecorder`, the bounded
+  client-boundary operation recorder behind the black-box contract
+  auditor (:mod:`repro.audit`), and the ``repro.history/1`` artifact.
 """
 
 from repro.obs.diff import (
@@ -46,6 +49,15 @@ from repro.obs.export import (
     write_chrome_trace,
 )
 from repro.obs.fanout import FanoutTracer
+from repro.obs.history import (
+    HISTORY_SCHEMA,
+    History,
+    HistoryOpRecord,
+    HistoryRecorder,
+    load_history,
+    recovered_from_cluster,
+    write_history,
+)
 from repro.obs.journey import JourneyTracker, UpdateJourney
 from repro.obs.monitor import (
     HealthMonitor,
@@ -74,6 +86,13 @@ __all__ = [
     "journey_chrome_events",
     "write_chrome_trace",
     "FanoutTracer",
+    "HISTORY_SCHEMA",
+    "History",
+    "HistoryOpRecord",
+    "HistoryRecorder",
+    "load_history",
+    "recovered_from_cluster",
+    "write_history",
     "JourneyTracker",
     "UpdateJourney",
     "HealthMonitor",

@@ -34,7 +34,7 @@ DIFF_SCHEMA = "repro.diff_report/1"
 
 RUN_REPORT_SCHEMAS = ("repro.run_report/1", "repro.run_report/2",
                       "repro.run_report/3", "repro.run_report/4",
-                      "repro.run_report/5")
+                      "repro.run_report/5", "repro.run_report/6")
 BENCH_SCHEMAS = ("repro.bench/1",)
 
 #: Metric name -> direction.  "higher" means an increase is good (a
@@ -49,6 +49,11 @@ METRIC_DIRECTIONS: Dict[str, str] = {
     "p95_write_ns": "lower",
     "p99_read_ns": "lower",
     "p99_write_ns": "lower",
+    # Audit totals (the ``audit`` row of run_report/6): a new contract
+    # violation in the candidate is a regression, not noise.
+    "violations_total": "lower",
+    "cells_failed": "lower",
+    "target_failed_checks": "lower",
 }
 
 #: Wall-clock metrics (the ``profile`` section of run reports, and the
@@ -62,6 +67,7 @@ WALL_CLOCK_DIRECTIONS: Dict[str, str] = {
     "loop_wall_seconds": "lower",
     "wall_seconds_per_sim_second": "lower",
     "ns_per_event": "lower",
+    "checker_wall_seconds": "lower",
 }
 
 DEFAULT_THRESHOLD = 0.05
@@ -188,6 +194,13 @@ def _metric_rows(doc: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
     if isinstance(profile, dict):
         rows["profile"] = {k: v for k, v in profile.items()
                            if isinstance(v, (int, float))}
+    # The audit section (run_report/6): violation totals gate the
+    # verdict (a new violation is a regression), checker wall time is
+    # a direction-annotated info row.
+    audit = doc.get("audit")
+    if isinstance(audit, dict) and isinstance(audit.get("totals"), dict):
+        rows["audit"] = {k: v for k, v in audit["totals"].items()
+                         if isinstance(v, (int, float))}
     return rows
 
 
@@ -205,9 +218,20 @@ def _compare_one(label: str, metric: str, base: Optional[float],
             or (isinstance(cand, float) and math.isnan(cand))):
         return MetricDelta(label, metric, base, cand, None, direction, "n/a")
     delta = (cand - base) / base if base else (0.0 if cand == base else None)
-    if direction == "info" or delta is None:
+    if direction == "info":
         return MetricDelta(label, metric, base, cand, delta, direction,
-                           "info" if direction == "info" else "n/a")
+                           "info")
+    if delta is None:
+        # base == 0, cand != 0: the relative delta is undefined but the
+        # change is real — judge it by direction (e.g. a violation
+        # where the baseline had none is a regression, not "n/a").
+        worsened = cand > base if direction == "lower" else cand < base
+        if worsened:
+            verdict = "info-worse" if wall_clock else "regression"
+        else:
+            verdict = "info-better" if wall_clock else "improvement"
+        return MetricDelta(label, metric, base, cand, None, direction,
+                           verdict)
     worse = -delta if direction == "higher" else delta
     if worse > threshold:
         verdict = "info-worse" if wall_clock else "regression"

@@ -9,7 +9,7 @@ Durability-Point lag series, and (optionally) the kernel profile.
 Schema (see DESIGN.md "Run-report JSON" for field-level docs)::
 
     {
-      "schema": "repro.run_report/5",
+      "schema": "repro.run_report/6",
       "meta":     {model, consistency, persistency, servers, clients,
                    seed, workload, duration_ns, warmup_ns, window_ns,
                    config_hash},
@@ -26,7 +26,8 @@ Schema (see DESIGN.md "Run-report JSON" for field-level docs)::
       "trace":    {"records": n, "dropped": n, "categories": {...}},
       "journeys": {...repro.analysis.waterfall.waterfall_json(...)...},
       "health":   {...repro.obs.monitor.health_json(...)...},
-      "faults":   {...repro.faults.faults_json(...)...}
+      "faults":   {...repro.faults.faults_json(...)...},
+      "audit":    {...repro.audit.audit_history(...)...}
     }
 
 Schema history: ``/1`` (PR 1) lacked the ``journeys`` section; ``/2``
@@ -42,7 +43,10 @@ observatory (``loop_wall_seconds`` plus nested ``attribution`` —
 per-event-kind and per-``MsgType``-handler wall/counts — and
 ``scheduling`` — heap-depth and tie-batch histograms, defuse/cancel
 counters, trampoline hops; see docs/handbook.md "Profiling the
-kernel").  Fields of older schemas are unchanged.
+kernel"); ``/6`` adds the optional ``audit`` section (the embedded
+``repro.audit_report/1`` document from the black-box contract auditor,
+see docs/handbook.md "Auditing").  Fields of older schemas are
+unchanged.
 
 NaN/inf values (empty windows, models that never persist) are emitted
 as ``null`` so the document is strict JSON.
@@ -61,7 +65,7 @@ from repro.analysis.metrics import Metrics, Summary
 __all__ = ["SCHEMA", "config_fingerprint", "build_run_report",
            "write_run_report"]
 
-SCHEMA = "repro.run_report/5"
+SCHEMA = "repro.run_report/6"
 
 
 def _clean(value: Any) -> Any:
@@ -104,7 +108,8 @@ def build_run_report(summary: Summary, metrics: Metrics,
                      tracer: Any = None,
                      journeys: Any = None,
                      monitor: Any = None,
-                     faults: Any = None) -> Dict[str, Any]:
+                     faults: Any = None,
+                     audit: Any = None) -> Dict[str, Any]:
     """Assemble the report dict from a finished run's collectors.
 
     ``points`` is a :class:`repro.analysis.points.PointsTracker` (or
@@ -112,8 +117,10 @@ def build_run_report(summary: Summary, metrics: Metrics,
     ``tracer`` a :class:`repro.sim.trace.Tracer`, ``journeys`` a
     :class:`repro.analysis.waterfall.WaterfallReport`, ``monitor`` a
     :class:`repro.obs.monitor.HealthMonitor`, ``faults`` a
-    :class:`repro.faults.FaultInjector`; all optional so callers
-    include only what they measured.
+    :class:`repro.faults.FaultInjector`, ``audit`` a
+    ``repro.audit_report/1`` document from
+    :func:`repro.audit.audit_history`; all optional so callers include
+    only what they measured.
     """
     report: Dict[str, Any] = {
         "schema": SCHEMA,
@@ -149,6 +156,8 @@ def build_run_report(summary: Summary, metrics: Metrics,
     if faults is not None:
         from repro.faults.injector import faults_json
         report["faults"] = _clean(faults_json(faults))
+    if audit is not None:
+        report["audit"] = _clean(audit)
     return report
 
 

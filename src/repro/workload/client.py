@@ -40,7 +40,8 @@ class Client:
 
     def __init__(self, sim: Simulator, client_id: int, node: ProtocolNode,
                  stream: RequestStream, metrics: Metrics,
-                 record_reads: bool = False, record_ops: bool = False):
+                 record_reads: bool = False, record_ops: bool = False,
+                 history=None):
         self.sim = sim
         self.client_id = client_id
         self.node = node
@@ -50,6 +51,14 @@ class Client:
         self.completed_requests = 0
         self.process = None
         self._stop = False
+        # Optional repro.obs.history.HistoryRecorder: the black-box
+        # audit's view of this client (pure observation; never touches
+        # the simulation).
+        self.history = history
+        # The logical operation currently in flight, as (op, key) —
+        # cleared on completion.  Lets the fault injector count
+        # crash-severed operations even without a recorder attached.
+        self.in_flight = None
         # Optional session log of (key, version) read observations, for
         # validating session guarantees (monotonic reads, Table 4).
         # ``record_ops`` additionally logs completed writes, committed
@@ -92,6 +101,10 @@ class Client:
         if self.read_observations:
             self._closed_read_sessions.append(self.read_observations)
             self.read_observations = []
+        if self.history is not None:
+            # New session, degraded era: the node rebuilt from its own
+            # NVM image only, so this session may observe stale state.
+            self.history.restart_session(self.client_id)
         self.ctx = ClientContext(self.client_id, self.node.node_id)
         self._stop = False
         self.start()
@@ -125,7 +138,11 @@ class Client:
         except Interrupt:
             # Graceful shutdown (used by tests and crash experiments); an
             # in-flight operation is abandoned mid-protocol, like a real
-            # client disconnecting.
+            # client disconnecting.  The abandoned operation may or may
+            # not have taken effect: the history keeps it as pending.
+            if self.history is not None:
+                self.history.sever(self.client_id)
+            self.in_flight = None
             return
 
     def _record(self, op_type: str, key: Optional[int], start_ns: float) -> None:
@@ -138,16 +155,33 @@ class Client:
     def _run_single(self) -> Generator:
         op, key, value = self.stream.next_request()
         start = self.sim.now
+        self.in_flight = (op, key)
+        if self.history is not None:
+            scoped = (self.node.ppolicy.persist_mode
+                      is PersistMode.ON_SCOPE_END)
+            self.history.invoke(
+                self.client_id, self.node.node_id, op, key,
+                value=None if op == "read" else value,
+                scope_id=(self.ctx.current_scope_id
+                          if scoped and op == "write" else None))
         if op == "read":
-            yield from self.node.client_read(self.ctx, key)
+            result = yield from self.node.client_read(self.ctx, key)
+            if self.history is not None:
+                self.history.complete(self.client_id,
+                                      version=self.ctx.last_read_version,
+                                      value=result)
             if self.record_reads:
                 self.read_observations.append(
                     (key, self.ctx.last_read_version))
         else:
             yield from self.node.client_write(self.ctx, key, value)
+            if self.history is not None:
+                self.history.complete(self.client_id,
+                                      version=self.ctx.last_write_version)
             if self.record_ops:
                 self.completed_writes.append(
                     (key, self.ctx.last_write_version))
+        self.in_flight = None
         self._record(op, key, start)
         return 1
 
@@ -155,7 +189,14 @@ class Client:
         start = self.sim.now
         scope_id = self.ctx.current_scope_id
         scope_writes = list(self.ctx.scope_writes)
+        self.in_flight = ("persist", None)
+        if self.history is not None:
+            self.history.invoke(self.client_id, self.node.node_id,
+                                "persist", None, scope_id=scope_id)
         yield from self.node.client_persist_scope(self.ctx)
+        if self.history is not None:
+            self.history.complete(self.client_id, committed=True)
+        self.in_flight = None
         if self.record_ops and scope_writes:
             # Recorded only on completion: an interrupted Persist leaves
             # the scope uncommitted, which makes no durability promise.
@@ -168,10 +209,12 @@ class Client:
         txn_length = self.node.config.txn_length
         requests = [self.stream.next_request() for _ in range(txn_length)]
         first_start: List[Optional[float]] = [None] * txn_length
+        scoped = self.node.ppolicy.persist_mode is PersistMode.ON_SCOPE_END
         attempt = 0
         while True:
             attempt += 1
             begin_start = self.sim.now
+            txn = None
             try:
                 yield from self.node.client_begin_txn(self.ctx)
                 txn = self.ctx.txn
@@ -179,14 +222,43 @@ class Client:
                 for index, (op, key, value) in enumerate(requests):
                     if first_start[index] is None:
                         first_start[index] = self.sim.now
+                    self.in_flight = (op, key)
+                    if self.history is not None:
+                        self.history.invoke(
+                            self.client_id, self.node.node_id, op, key,
+                            value=None if op == "read" else value,
+                            txn_id=txn.txn_id if txn is not None else None,
+                            scope_id=(self.ctx.current_scope_id
+                                      if scoped and op == "write" else None))
                     if op == "read":
-                        yield from self.node.client_read(self.ctx, key)
+                        result = yield from self.node.client_read(self.ctx,
+                                                                  key)
+                        if self.history is not None:
+                            self.history.complete(
+                                self.client_id,
+                                version=self.ctx.last_read_version,
+                                value=result)
                     else:
                         yield from self.node.client_write(self.ctx, key, value)
+                        if self.history is not None:
+                            self.history.complete(
+                                self.client_id,
+                                version=self.ctx.last_write_version)
+                    self.in_flight = None
                     completions.append(self.sim.now)
                 yield from self.node.client_end_txn(self.ctx)
+                if self.history is not None and txn is not None:
+                    self.history.set_txn_outcome(txn.txn_id, True)
             except TxnConflict:
+                # The squashed access itself neither took effect nor
+                # observed anything; the attempt's earlier operations
+                # are stamped aborted (their writes were reverted).
+                if self.history is not None:
+                    self.history.fail(self.client_id)
+                self.in_flight = None
                 yield from self.node.client_abort_txn(self.ctx)
+                if self.history is not None and txn is not None:
+                    self.history.set_txn_outcome(txn.txn_id, False)
                 backoff = (self.node.config.txn_retry_backoff_ns
                            * min(attempt, _MAX_BACKOFF_MULTIPLIER))
                 yield self.sim.timeout(backoff)

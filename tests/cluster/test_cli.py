@@ -89,7 +89,7 @@ class TestCommands:
         assert trace["otherData"]["record_count"] > 0
 
         report = json.loads(report_path.read_text())
-        assert report["schema"] == "repro.run_report/5"
+        assert report["schema"] == "repro.run_report/6"
         assert report["meta"]["window_ns"] == 5000.0
         assert len(report["meta"]["config_hash"]) == 16
         assert report["windows"], "windowed throughput series missing"
@@ -188,6 +188,81 @@ class TestCommands:
         report = json.loads(report_path.read_text())
         assert report["journeys"]["journeys"] == 5
         assert report["journeys"]["dropped"] > 0
+
+    def test_run_audit_passes_own_model(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        code = main(["run", "--consistency", "linearizable",
+                     "--persistency", "synchronous",
+                     "--servers", "3", "--clients", "6",
+                     "--duration-us", "30", "--audit",
+                     "--metrics-out", str(report_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "target <linearizable, synchronous>: PASS" in out
+        report = json.loads(report_path.read_text())
+        audit = report["audit"]
+        assert audit["schema"] == "repro.audit_report/1"
+        assert audit["target"]["ok"]
+        assert audit["totals"]["cells"] == 25
+
+    def test_history_out_then_audit_subcommand(self, capsys, tmp_path):
+        history_path = tmp_path / "history.jsonl"
+        code = main(["run", "--consistency", "causal",
+                     "--persistency", "synchronous",
+                     "--servers", "3", "--clients", "6",
+                     "--duration-us", "30",
+                     "--history-out", str(history_path)])
+        assert code == 0
+        assert history_path.exists()
+        capsys.readouterr()
+
+        code = main(["audit", str(history_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "target <causal, synchronous>: PASS" in out
+
+    def test_audit_cross_model_override_fails(self, capsys, tmp_path):
+        history_path = tmp_path / "history.jsonl"
+        main(["run", "--consistency", "eventual",
+              "--persistency", "eventual",
+              "--servers", "3", "--clients", "6",
+              "--duration-us", "60",
+              "--history-out", str(history_path)])
+        capsys.readouterr()
+        code = main(["audit", str(history_path),
+                     "--consistency", "linearizable",
+                     "--persistency", "strict"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "target <linearizable, strict>: FAIL" in out
+
+    def test_audit_json_document(self, capsys, tmp_path):
+        history_path = tmp_path / "history.jsonl"
+        out_path = tmp_path / "audit.json"
+        main(["run", "--servers", "3", "--clients", "6",
+              "--duration-us", "30",
+              "--history-out", str(history_path)])
+        capsys.readouterr()
+        code = main(["audit", str(history_path), "--json",
+                     "--out", str(out_path)])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["schema"] == "repro.audit_report/1"
+        assert doc["usable"]
+        assert json.loads(out_path.read_text()) == doc
+
+    def test_audit_rejects_non_history_file(self, capsys, tmp_path):
+        path = tmp_path / "not_history.json"
+        path.write_text('{"schema": "repro.run_report/6"}\n')
+        code = main(["audit", str(path)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "repro:" in err
+
+    def test_audit_missing_file_exits_2(self, capsys, tmp_path):
+        code = main(["audit", str(tmp_path / "missing.jsonl")])
+        assert code == 2
+        assert "repro:" in capsys.readouterr().err
 
     def test_profile_prints_the_hotspot_table(self, capsys):
         code = main(["profile", "--servers", "3", "--clients", "6",

@@ -181,7 +181,7 @@ class TestWallClockProfileRows:
 
     def _profiled(self, events_per_wall_second=80_000.0,
                   wall_seconds=2.0, **extra):
-        doc = _run_report(schema="repro.run_report/5")
+        doc = _run_report(schema="repro.run_report/6")
         doc["profile"] = {
             "events_processed": 250_000,
             "events_per_wall_second": events_per_wall_second,
@@ -277,6 +277,64 @@ class TestWallClockProfileRows:
         report = diff_documents(_run_report(), _run_report())
         assert all(e.label == "summary" for e in report.entries)
         assert report.wall_clock_notes == []
+
+
+class TestAuditRows:
+    """Run reports carrying an `audit` section diff its totals: new
+    contract violations over a clean baseline must be regressions even
+    though the baseline count is zero."""
+
+    def _audited(self, violations=0, cells_failed=0, target_failed=0,
+                 wall=0.05):
+        doc = _run_report(schema="repro.run_report/6")
+        doc["audit"] = {
+            "schema": "repro.audit_report/1",
+            "usable": True,
+            "totals": {"cells": 25, "cells_failed": cells_failed,
+                       "violations_total": violations,
+                       "target_failed_checks": target_failed,
+                       "checker_wall_seconds": wall},
+        }
+        return doc
+
+    def test_audit_totals_compared(self):
+        report = diff_documents(self._audited(), self._audited())
+        metrics = {e.metric for e in report.entries if e.label == "audit"}
+        assert {"cells_failed", "violations_total",
+                "target_failed_checks"} <= metrics
+        assert report.verdict == "no-regression"
+
+    def test_new_violations_over_clean_baseline_regress(self):
+        report = diff_documents(self._audited(violations=0),
+                                self._audited(violations=4))
+        names = [(e.label, e.metric) for e in report.regressions]
+        assert ("audit", "violations_total") in names
+        assert report.verdict == "regression"
+
+    def test_target_cell_break_is_a_regression(self):
+        report = diff_documents(
+            self._audited(), self._audited(target_failed=1, cells_failed=1))
+        names = [(e.label, e.metric) for e in report.regressions]
+        assert ("audit", "target_failed_checks") in names
+
+    def test_fixed_violations_are_an_improvement(self):
+        report = diff_documents(self._audited(violations=4),
+                                self._audited(violations=0))
+        assert any(e.metric == "violations_total"
+                   for e in report.improvements)
+        assert report.verdict == "no-regression"
+
+    def test_checker_wall_time_stays_informational(self):
+        report = diff_documents(self._audited(wall=0.05),
+                                self._audited(wall=5.0))
+        (entry,) = [e for e in report.entries
+                    if e.metric == "checker_wall_seconds"]
+        assert entry.verdict == "info-worse"
+        assert report.verdict == "no-regression"
+
+    def test_unaudited_reports_have_no_audit_rows(self):
+        report = diff_documents(_run_report(), _run_report())
+        assert not any(e.label == "audit" for e in report.entries)
 
 
 class TestLoading:

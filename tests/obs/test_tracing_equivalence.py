@@ -30,11 +30,11 @@ MODELS = [
 
 
 def _run(model, tracer=None, profile=None, monitor=None, seed=2021,
-         faults=None):
+         faults=None, history=None):
     config = ClusterConfig(servers=3, clients_per_server=3, seed=seed)
     cluster = Cluster(model, config=config, workload=WORKLOADS["A"],
                       tracer=tracer, profile=profile, monitor=monitor,
-                      faults=faults)
+                      faults=faults, history=history)
     summary = cluster.run(40_000.0, warmup_ns=4_000.0)
     stores = [
         {replica.key: (replica.applied_version, replica.applied_value,
@@ -138,6 +138,40 @@ class TestTracingDoesNotPerturb:
                     "profiler saw no events; wiring is broken"
                 assert attribution["by_msg_type"], \
                     "handler driver never engaged; wiring is broken"
+        assert contents[0] == contents[1]
+
+
+class TestHistoryRecorderEquivalence:
+    """The audit history recorder is a pure observer at the client
+    boundary: attached, it reproduces the unrecorded run exactly (the
+    acceptance bar for `--history-out` / `--audit`)."""
+
+    @pytest.mark.parametrize("model", MODELS, ids=str)
+    def test_recorder_does_not_perturb(self, model):
+        from repro.obs.history import HistoryRecorder
+
+        cluster_off, summary_off, stores_off = _run(model)
+        recorder = HistoryRecorder()
+        cluster_on, summary_on, stores_on = _run(model, history=recorder)
+        assert len(recorder) > 0, "recorder saw nothing; wiring is broken"
+        assert dataclasses.asdict(summary_off) == \
+            pytest.approx(dataclasses.asdict(summary_on), nan_ok=True)
+        assert stores_off == stores_on
+        assert cluster_off.sim.now == cluster_on.sim.now
+
+    def test_recorder_trace_byte_identical(self, tmp_path):
+        from repro.obs.history import HistoryRecorder
+
+        model = DdpModel(Consistency.CAUSAL, Persistency.SYNCHRONOUS)
+        contents = []
+        for recorded in (False, True):
+            tracer = Tracer()
+            recorder = HistoryRecorder() if recorded else None
+            _run(model, tracer=tracer, history=recorder)
+            path = tmp_path / f"h{recorded}.json"
+            write_chrome_trace(str(path), tracer.records,
+                               dropped=tracer.dropped)
+            contents.append(path.read_bytes())
         assert contents[0] == contents[1]
 
 

@@ -20,8 +20,8 @@ class TestSlugs:
     @pytest.mark.parametrize("heading,slug", [
         ("Operator's handbook", "operators-handbook"),
         ("The 5×5 model matrix", "the-55-model-matrix"),
-        ("Run report (`repro.run_report/5`)",
-         "run-report-reprorun_report5"),
+        ("Run report (`repro.run_report/6`)",
+         "run-report-reprorun_report6"),
         ("`repro run` — simulate one model",
          "repro-run--simulate-one-model"),
         ("**Bold** and _tail_", "bold-and-_tail_"),
