@@ -83,7 +83,8 @@ from repro.cluster.cluster import Cluster, run_simulation
 from repro.cluster.config import ClusterConfig
 from repro.core.model import Consistency, DdpModel, Persistency, all_ddp_models
 from repro.core.tradeoffs import analyze_all
-from repro.devtools.cli import add_lint_parser, cmd_lint
+from repro.devtools.cli import (add_lint_parser, add_order_parser,
+                                cmd_lint, cmd_order)
 from repro.faults import (FaultInjector, load_fault_plan,
                           plan_from_crash_specs, validate_faulty_run)
 from repro.obs import (
@@ -515,6 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(recover_parser)
 
     add_lint_parser(subparsers)
+    add_order_parser(subparsers)
     return parser
 
 
@@ -925,6 +927,7 @@ _COMMANDS = {
     "tradeoffs": _cmd_tradeoffs,
     "recover": _cmd_recover,
     "lint": cmd_lint,
+    "order": cmd_order,
 }
 
 

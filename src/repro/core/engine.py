@@ -891,6 +891,7 @@ class ProtocolNode:
         their pre-image; losers of the last-writer-wins race are absorbed
         into the winner's pre-image so aborts restore the right state."""
         if version > replica.applied_version:
+            # repro: lint-ok[effect-conflict] pre-image snapshot is guarded by the version race; losers are absorbed monotonically
             replica.record_undo(version)
             replica.apply(version, value)
         else:
@@ -1270,6 +1271,7 @@ class ProtocolNode:
             # Resent INVs (round retries, duplication faults) must not
             # double-register: the post-ENDX VAL ends each inv once.
             if (message.key, message.op_id) not in entries:
+                # repro: lint-ok[effect-conflict] membership-guarded; the post-ENDX VAL consumes the list wholesale, order unused
                 entries.append((message.key, message.op_id))
         yield from self.memory.volatile_update(message.key,
                                                self.config.value_bytes,
@@ -1280,7 +1282,10 @@ class ProtocolNode:
             replica.absorb_superseded(message.version, message.value)
         self.memory.consume_ddio(self.config.value_bytes)
         if self.store is not None:
-            self.store.put(message.key, message.value)
+            # The store must hold the LWW winner, not this message's
+            # payload: a superseded INV arriving late would otherwise
+            # clobber newer content.
+            self.store.put(message.key, replica.applied_value)
 
         strict = self.ppolicy.write_waits_for_persist_everywhere
         inline = (self.ppolicy.persist_mode is PersistMode.INLINE
@@ -1325,6 +1330,7 @@ class ProtocolNode:
             for key, version in message.payload:
                 replica = self.replicas.get(key)
                 if message.abort:
+                    # repro: lint-ok[effect-conflict] revert is a no-op unless applied_version == version (the txn's own write)
                     replica.revert(version)
                     if self.store is not None:
                         self.store.put(key, replica.applied_value)
@@ -1410,6 +1416,7 @@ class ProtocolNode:
         return None
 
     def _buffer_causal(self, unmet_key: int, message: Message) -> None:
+        # repro: lint-ok[effect-conflict] buffer order cannot leak: releases re-check deps and applies are version-guarded LWW
         self._causal_waiting.setdefault(unmet_key, []).append(message)
         self._causal_waiting_count += 1
         self.metrics.note_causal_buffer(self._causal_waiting_count)
@@ -1450,7 +1457,8 @@ class ProtocolNode:
         replica.apply(message.version, message.value)
         self.memory.consume_ddio(self.config.value_bytes)
         if self.store is not None:
-            self.store.put(message.key, message.value)
+            # LWW winner, not the message payload (see _on_inv).
+            self.store.put(message.key, replica.applied_value)
 
         mode = self.ppolicy.persist_mode
         strict = self.ppolicy.write_waits_for_persist_everywhere

@@ -1,0 +1,179 @@
+"""Class/method index for the ordering analysis (purely AST-based).
+
+The effect analysis (:mod:`repro.devtools.effects`) needs to follow
+``self._helper(...)`` calls from message handlers through the engine
+class hierarchy — including subclass overrides, since
+``LeaderProtocolNode`` and ``HybridProtocolNode`` inherit
+``_DISPATCH`` from :class:`~repro.core.engine.ProtocolNode`.  This
+module builds that view from parsed sources alone: unlike the
+dispatch-completeness rule it never imports the code under analysis,
+so lint fixtures (deliberately broken engines) can be analyzed without
+being importable.
+
+Resolution is by class *name* across the analyzed file set.  Class
+names are unique in this repo (and the analysis reports a finding
+rather than guessing if they ever stop being unique).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["ClassInfo", "ProjectIndex", "dispatch_table"]
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition as the analysis sees it."""
+
+    name: str
+    path: str
+    node: ast.ClassDef
+    bases: List[str]
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+def _tail_name(node: ast.AST) -> str:
+    """``Base`` or ``mod.Base`` -> ``"Base"`` (tail name)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+class ProjectIndex:
+    """All top-level classes across a set of parsed file contexts."""
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, ClassInfo] = {}
+        self.duplicates: List[str] = []
+        #: Module-level functions: name -> (path, node).  Helpers like
+        #: ``_applied_at_least`` (predicate factories) live here.
+        self.functions: Dict[str, Tuple[str, ast.FunctionDef]] = {}
+
+    @classmethod
+    def from_contexts(cls, contexts: Iterable) -> "ProjectIndex":
+        index = cls()
+        for ctx in contexts:
+            if ctx.tree is None:
+                continue
+            for node in ctx.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    index._add_class(node, ctx.path)
+                elif isinstance(node, _FUNCTION_NODES):
+                    index.functions.setdefault(node.name, (ctx.path, node))
+        return index
+
+    def _add_class(self, node: ast.ClassDef, path: str) -> None:
+        if node.name in self.classes:
+            self.duplicates.append(node.name)
+            return
+        info = ClassInfo(name=node.name, path=path, node=node,
+                         bases=[_tail_name(b) for b in node.bases])
+        for item in node.body:
+            if isinstance(item, _FUNCTION_NODES):
+                info.methods[item.name] = item
+        self.classes[node.name] = info
+
+    # -- hierarchy -------------------------------------------------------
+
+    def mro(self, class_name: str) -> List[ClassInfo]:
+        """Left-to-right depth-first linearization over known classes.
+
+        Good enough for the single-inheritance engine hierarchy; bases
+        outside the analyzed file set are simply absent.
+        """
+        seen: List[ClassInfo] = []
+        names = set()
+
+        def visit(name: str) -> None:
+            info = self.classes.get(name)
+            if info is None or info.name in names:
+                return
+            names.add(info.name)
+            seen.append(info)
+            for base in info.bases:
+                visit(base)
+
+        visit(class_name)
+        return seen
+
+    def resolve_method(
+            self, class_name: str,
+            method: str) -> Optional[Tuple[ClassInfo, ast.FunctionDef]]:
+        """The defining class and AST for ``class_name.method`` (MRO)."""
+        for info in self.mro(class_name):
+            func = info.methods.get(method)
+            if func is not None:
+                return info, func
+        return None
+
+    def engine_classes(self) -> List[ClassInfo]:
+        """Classes that define or inherit a ``_DISPATCH`` table, sorted
+        by (path, line) for deterministic reporting."""
+        found = []
+        for info in self.classes.values():
+            if any(self._defines_dispatch(c) for c in self.mro(info.name)):
+                found.append(info)
+        return sorted(found, key=lambda c: (c.path, c.lineno))
+
+    @staticmethod
+    def _defines_dispatch(info: ClassInfo) -> bool:
+        for item in info.node.body:
+            targets = []
+            if isinstance(item, ast.Assign):
+                targets = item.targets
+            elif isinstance(item, ast.AnnAssign) and item.value is not None:
+                targets = [item.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "_DISPATCH":
+                    return True
+        return False
+
+
+def dispatch_table(index: ProjectIndex,
+                   class_name: str) -> Dict[str, str]:
+    """``MsgType`` member name -> handler method name for a class.
+
+    Walks the MRO so subclasses that do not redefine ``_DISPATCH``
+    inherit the base table; a subclass's own table wins wholesale (the
+    engine semantics: ``_DISPATCH`` is rebound, not merged).
+    """
+    for info in index.mro(class_name):
+        table = _parse_dispatch(info.node)
+        if table is not None:
+            return table
+    return {}
+
+
+def _parse_dispatch(cls: ast.ClassDef) -> Optional[Dict[str, str]]:
+    for item in cls.body:
+        value = None
+        if isinstance(item, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "_DISPATCH"
+                   for t in item.targets):
+                value = item.value
+        elif (isinstance(item, ast.AnnAssign)
+              and isinstance(item.target, ast.Name)
+              and item.target.id == "_DISPATCH"):
+            value = item.value
+        if value is None:
+            continue
+        table: Dict[str, str] = {}
+        if isinstance(value, ast.Dict):
+            for key, val in zip(value.keys, value.values):
+                member = _tail_name(key) if key is not None else ""
+                if member and isinstance(val, ast.Constant) \
+                        and isinstance(val.value, str):
+                    table[member] = val.value
+        return table
+    return None

@@ -3,11 +3,15 @@
 Hermes-style broadcast rounds (Katsarakis et al.) and the durable-
 linearizability obligations both assume a *stable* message order; the
 simulator only replays byte-identical traces if every send/schedule
-sequence is deterministic.  Iterating a ``set`` (or ``dict.keys()``,
-which reads as "order doesn't matter" even though CPython preserves
-insertion order) while sending messages or scheduling events ties
-protocol behaviour to hash/insertion history.  Wrap the iterable in
-``sorted(...)`` — or iterate a list — when the body has effects.
+sequence is deterministic.  Iterating a ``set`` (or ``dict.keys()`` /
+``dict.items()`` / ``dict.values()``, which read as "order doesn't
+matter" even though CPython preserves insertion order) while sending
+messages or scheduling events ties protocol behaviour to
+hash/insertion history.  The same hazard hides in comprehensions: a
+set/dict comprehension whose element expression sends or schedules, or
+a loop over one, orders effects by the comprehension's iteration.
+Wrap the iterable in ``sorted(...)`` — or iterate a list — when the
+body has effects.
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ _SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
 
 
 def _is_set_expr(node: ast.AST) -> bool:
-    if isinstance(node, (ast.Set, ast.SetComp)):
+    if isinstance(node, (ast.Set, ast.SetComp, ast.DictComp)):
         return True
     return (isinstance(node, ast.Call)
             and isinstance(node.func, ast.Name)
@@ -60,7 +64,8 @@ def _is_unordered(iterable: ast.AST, set_attrs: frozenset) -> bool:
         return True
     if isinstance(iterable, ast.Call):
         func = iterable.func
-        if isinstance(func, ast.Attribute) and func.attr == "keys":
+        if (isinstance(func, ast.Attribute)
+                and func.attr in ("keys", "items", "values")):
             return True
     if isinstance(iterable, (ast.Name, ast.Attribute)):
         name = (iterable.id if isinstance(iterable, ast.Name)
@@ -84,6 +89,23 @@ def _has_effects(body: List[ast.stmt]) -> bool:
     return False
 
 
+def _comp_elements(node: ast.AST) -> List[ast.AST]:
+    """The expressions a comprehension evaluates per item."""
+    if isinstance(node, ast.DictComp):
+        return [node.key, node.value]
+    return [node.elt]
+
+
+def _expr_has_effects(exprs: List[ast.AST]) -> bool:
+    for expr in exprs:
+        for sub in ast.walk(expr):
+            if (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _EFFECT_ATTRS):
+                return True
+    return False
+
+
 @file_rule(
     RULE_ID,
     summary="sends/schedules from set or dict.keys() iteration order",
@@ -93,21 +115,40 @@ def _has_effects(body: List[ast.stmt]) -> bool:
 def check(ctx) -> Iterator[Finding]:
     parents = build_parents(ctx.tree)
     attrs_by_class = {}
-    for node in ast.walk(ctx.tree):
-        if not isinstance(node, (ast.For, ast.AsyncFor)):
-            continue
+
+    def class_set_attrs(node):
         cls = next((a for a in iter_ancestors(node, parents)
                     if isinstance(a, ast.ClassDef)), None)
         if cls is not None and cls not in attrs_by_class:
             attrs_by_class[cls] = _set_attrs(cls)
-        set_attrs = attrs_by_class.get(cls, frozenset())
-        if not _is_unordered(node.iter, set_attrs):
-            continue
-        if not _has_effects(node.body):
-            continue
-        line, col = location(node)
-        yield Finding(
-            RULE_ID, ctx.path, line, col,
-            f"loop over `{code(node.iter)}` sends messages or schedules "
-            f"events; iteration order is a nondeterminism hazard — "
-            f"iterate `sorted({code(node.iter)})` instead")
+        return attrs_by_class.get(cls, frozenset())
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            set_attrs = class_set_attrs(node)
+            if not _is_unordered(node.iter, set_attrs):
+                continue
+            if not _has_effects(node.body):
+                continue
+            line, col = location(node)
+            yield Finding(
+                RULE_ID, ctx.path, line, col,
+                f"loop over `{code(node.iter)}` sends messages or "
+                f"schedules events; iteration order is a nondeterminism "
+                f"hazard — iterate `sorted({code(node.iter)})` instead")
+        elif isinstance(node, (ast.ListComp, ast.SetComp,
+                               ast.GeneratorExp, ast.DictComp)):
+            set_attrs = class_set_attrs(node)
+            hazard = next(
+                (gen.iter for gen in node.generators
+                 if _is_unordered(gen.iter, set_attrs)), None)
+            if hazard is None:
+                continue
+            if not _expr_has_effects(_comp_elements(node)):
+                continue
+            line, col = location(node)
+            yield Finding(
+                RULE_ID, ctx.path, line, col,
+                f"comprehension over `{code(hazard)}` sends messages or "
+                f"schedules events; iteration order is a nondeterminism "
+                f"hazard — iterate `sorted({code(hazard)})` instead")

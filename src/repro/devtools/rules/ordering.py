@@ -1,0 +1,147 @@
+"""Ordering rules: the static half of the determinism certificate.
+
+ROADMAP item 1 wants DES-kernel surgery (calendar queue, trampoline
+flattening) that reshuffles *tie-breaking order* for same-timestamp
+events.  That surgery is only safe if co-scheduled message handlers
+commute on engine state.  These three project rules surface the
+interprocedural effect analysis (:mod:`repro.devtools.effects`) through
+the ordinary lint machinery so the certificate is enforced in CI and
+exceptions carry inline justifications:
+
+* ``effect-conflict`` — a handler raw-writes an abstract location that
+  a co-schedulable handler also touches; the pair's outcome depends on
+  pop order unless the code commutes for a reason the analysis cannot
+  see (version guards, wholesale consumption).  Waive at the raw-write
+  site with the reason.
+* ``schedule-sensitive-send`` — a message send guarded by a branch that
+  reads raw-written state: whether the send happens at all depends on
+  tie order, which cascades the divergence across the cluster.
+* ``untracked-effect`` — a call inside a handler escaped the effect
+  model (no intrinsic, not resolvable); the certificate has a hole
+  until the call is modeled, refactored, or waived.
+
+The dynamic tie-batch sanitizer (``repro order --sanitize``) permutes
+real tie batches and checks byte-identity — these rules are the static
+over-approximation, the sanitizer the ground truth probe; ``repro
+order`` cross-references the two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.devtools.effects import HandlerReport, analyze_engines, conflicts
+from repro.devtools.findings import Finding
+from repro.devtools.registry import in_src, project_rule
+
+RULE_CONFLICT = "effect-conflict"
+RULE_SEND = "schedule-sensitive-send"
+RULE_UNTRACKED = "untracked-effect"
+
+#: Analysis results per context set.  The three rules run back-to-back
+#: over the same parsed files inside one lint run; keying on context
+#: object identity makes the second and third rule free.
+_CACHE: Dict[Tuple[int, ...], Dict[str, List[HandlerReport]]] = {}
+_CACHE_MAX = 4
+
+
+def engine_reports(contexts) -> Dict[str, List[HandlerReport]]:
+    """Handler effect reports for every engine in ``contexts`` (cached
+    on context identity within a lint run)."""
+    key = tuple(sorted(id(ctx) for ctx in contexts))
+    if key not in _CACHE:
+        if len(_CACHE) >= _CACHE_MAX:
+            _CACHE.clear()
+        _CACHE[key] = analyze_engines(contexts)
+    return _CACHE[key]
+
+
+def _format_pairs(pairs) -> str:
+    return ", ".join(f"{a}~{b}" for a, b in sorted(pairs))
+
+
+@project_rule(
+    RULE_CONFLICT,
+    summary="co-schedulable handlers have order-dependent effects on "
+            "shared engine state",
+    guards="tie-breaking freedom for the DES kernel (ROADMAP item 1): "
+           "same-timestamp handler pairs must commute on state or carry "
+           "a justified waiver",
+    scope=in_src)
+def check_conflicts(contexts) -> Iterator[Finding]:
+    grouped: Dict[Tuple[str, int, str], Dict] = {}
+    for engine in sorted(engine_reports(contexts)):
+        for conflict in conflicts(engine_reports(contexts)[engine]):
+            key = (conflict.site.path, conflict.site.line, conflict.location)
+            entry = grouped.setdefault(
+                key, {"site": conflict.site, "pairs": set(),
+                      "engines": set()})
+            entry["pairs"].add(conflict.pair)
+            entry["engines"].add(engine)
+    for (path, line, location) in sorted(grouped):
+        entry = grouped[(path, line, location)]
+        site = entry["site"]
+        yield Finding(
+            RULE_CONFLICT, path, line, 0,
+            f"raw write to {location} ({site.detail}) does not commute "
+            f"with co-scheduled handlers ({_format_pairs(entry['pairs'])});"
+            f" prove it commutes and waive with the reason, or restructure",
+            extra={"location": location,
+                   "engines": sorted(entry["engines"]),
+                   "pairs": [list(p) for p in sorted(entry["pairs"])]})
+
+
+@project_rule(
+    RULE_SEND,
+    summary="a message send is guarded by raw-written state",
+    guards="divergence containment: a send conditioned on racy state "
+           "turns one node's tie-order into cluster-visible behavior",
+    scope=in_src)
+def check_guarded_sends(contexts) -> Iterator[Finding]:
+    reports = engine_reports(contexts)
+    seen = set()
+    for engine in sorted(reports):
+        raw_locs = set()
+        for report in reports[engine]:
+            raw_locs.update(loc for loc, _ in report.effects.raw_writes())
+        for report in reports[engine]:
+            for (site, guard) in report.effects.guarded_sends:
+                hot = sorted(set(guard) & raw_locs)
+                if not hot:
+                    continue
+                key = (site.path, site.line)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield Finding(
+                    RULE_SEND, site.path, site.line, 0,
+                    f"send in {engine}.{report.handler} is guarded by "
+                    f"raw-written state ({', '.join(hot)}): whether it "
+                    f"fires depends on same-timestamp pop order",
+                    extra={"handler": report.handler, "engine": engine,
+                           "guard_locations": hot})
+
+
+@project_rule(
+    RULE_UNTRACKED,
+    summary="a handler call escapes the effect model",
+    guards="certificate completeness: an unmodeled call could hide a "
+           "raw write the conflict rule would never see",
+    scope=in_src)
+def check_untracked(contexts) -> Iterator[Finding]:
+    reports = engine_reports(contexts)
+    seen = set()
+    for engine in sorted(reports):
+        for report in reports[engine]:
+            for call, site in sorted(report.effects.unresolved.items()):
+                key = (site.path, site.line, call)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield Finding(
+                    RULE_UNTRACKED, site.path, site.line, 0,
+                    f"call {call!r} in {engine}.{report.handler} has no "
+                    f"effect model: add an intrinsic to METHOD_EFFECTS, "
+                    f"make it resolvable, or waive with the reason",
+                    extra={"call": call, "engine": engine,
+                           "handler": report.handler})

@@ -1,0 +1,315 @@
+"""Dynamic tie-batch sanitizer: the runtime half of the determinism
+certificate.
+
+The static effect analysis (:mod:`repro.devtools.effects`) proves that
+same-timestamp message handlers *should* commute on protocol state.
+This module checks the claim on real runs: a
+:class:`TieBatchSanitizer` attaches to a :class:`~repro.sim.engine.
+Simulator` (same opt-in contract as ``KernelProfile`` — ``None`` by
+default, one ``is not None`` check, off-path free) and observes every
+*tie batch*, the set of heap entries popped at one identical timestamp.
+In sanitizing mode it deterministically permutes each batch's
+processing order with a :class:`~repro.sim.rng.SeededStream`
+(Fisher–Yates), and :func:`sweep` asserts that the final protocol-state
+digest is byte-identical to the unpermuted baseline for every DDP
+model.
+
+What gets permuted — and what must stay seq-stable
+--------------------------------------------------
+Only ``msg_delivery`` entries are reordered (among the positions they
+occupy in the batch); other event kinds keep their insertion-sequence
+order.  The split mirrors the static pass exactly: delivery order *is*
+handler co-scheduling order, the dimension the effect analysis
+certifies commutative.  The remaining kinds — process continuations,
+timeouts inside memory accesses, resource grants — encode *intra*-
+handler progress, and their relative order decides FIFO admission at
+shared timing resources (NVM bank queues, DDIO capacity): reordering
+those legitimately swaps per-op latencies and cascades through the
+closed-loop clients into genuinely different (all individually valid)
+trajectories.  That is the ``sched`` location the static pass exempts,
+and the concrete certificate this module leaves for ROADMAP item 1's
+queue swap: a replacement event queue may break delivery ties freely
+but MUST preserve insertion order among equal-timestamp continuations
+(i.e. be a *stable* priority queue).
+
+The sweep runs fixed work, not fixed duration: every client carries a
+request budget (``Client.max_requests``) and the cluster drains to
+quiescence, so all runs execute the identical operation multiset and
+a cut-off cannot catch in-flight tails mid-persist.
+
+What the digest covers — and what it deliberately does not
+----------------------------------------------------------
+:func:`cluster_digest` hashes the *converged protocol state*: per-key
+applied / locally-persisted / cluster-persisted versions and values at
+every node, the KV-store contents backing reads, and the durable-log
+replay state.  That is exactly the state the static pass certifies
+commutative.  Wall-clock-shaped outputs (the drain completion time,
+per-op latency attribution, peak queue depths) may legitimately differ
+between permutations and are excluded; the handbook chapter spells out
+this contract.
+
+Cross-referencing
+-----------------
+Each batch records which message types tied together, so after a sweep
+:func:`coverage` maps statically flagged conflict pairs to observed
+tie pairs: a flagged pair the sanitizer never exercised is *uncovered*
+(the static claim was never tested), and a digest divergence is
+reported against the message pairs observed in the diverging run —
+which must map back to a flagged pair, or the static pass has a hole.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.rng import SeededStream
+
+__all__ = [
+    "TieBatchSanitizer",
+    "SweepResult",
+    "CellResult",
+    "cluster_digest",
+    "coverage",
+    "sweep",
+]
+
+
+class TieBatchSanitizer:
+    """Observe (and optionally permute) same-timestamp pop batches.
+
+    ``seed=None`` is *record* mode: batches are observed, order is
+    untouched, and the run is byte-identical to a plain one.  With a
+    seed, the ``msg_delivery`` entries of every batch are shuffled in
+    place among the positions they occupy (Fisher–Yates over the
+    delivery sub-sequence), exploring one alternative handler
+    co-scheduling order per seed.  Non-delivery entries never move:
+    their seq order is the stable-queue invariant, not a freedom (see
+    the module docstring).
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self.seed = seed
+        self._rng = (SeededStream(seed, "tie-sanitizer")
+                     if seed is not None else None)
+        self.batches = 0
+        """Tie batches observed (size >= 2)."""
+        self.events_tied = 0
+        self.max_batch = 0
+        self.permuted = 0
+        """Batches whose order actually changed."""
+        self.pair_counts: Dict[Tuple[str, str], int] = {}
+        """Sorted (label, label) -> co-occurrence count.  Labels are
+        message-type names for deliveries, event kinds otherwise."""
+
+    def attach(self, sim) -> None:
+        sim.order_sanitizer = self
+
+    @staticmethod
+    def _label(event) -> str:
+        if event.kind == "msg_delivery":
+            message = event._value
+            msg_type = getattr(message, "msg_type", None)
+            if msg_type is not None:
+                return msg_type.name
+        return f"kind:{event.kind}"
+
+    def observe(self, when: float, batch: List[tuple]) -> None:
+        """Record one tie batch; permute it in place when sanitizing."""
+        self.batches += 1
+        self.events_tied += len(batch)
+        if len(batch) > self.max_batch:
+            self.max_batch = len(batch)
+        labels = sorted(self._label(entry[2]) for entry in batch)
+        for a, b in itertools.combinations_with_replacement(
+                sorted(set(labels)), 2):
+            if a == b and labels.count(a) < 2:
+                continue
+            key = (a, b)
+            self.pair_counts[key] = self.pair_counts.get(key, 0) + 1
+        if self._rng is None:
+            return
+        slots = [i for i, (_when, _seq, event) in enumerate(batch)
+                 if event.kind == "msg_delivery"]
+        if len(slots) < 2:
+            return
+        deliveries = [batch[i] for i in slots]
+        before = list(deliveries)
+        self._rng.shuffle(deliveries)
+        for slot, entry in zip(slots, deliveries):
+            batch[slot] = entry
+        if deliveries != before:
+            self.permuted += 1
+
+    def observed_pairs(self) -> List[Tuple[str, str]]:
+        return sorted(self.pair_counts)
+
+
+def cluster_digest(cluster) -> str:
+    """Blake2b over the cluster's converged protocol state (hex)."""
+    h = hashlib.blake2b(digest_size=16)
+
+    def feed(*parts) -> None:
+        for part in parts:
+            h.update(repr(part).encode())
+            h.update(b"\x1f")
+
+    # Deliberately no sim.now: drain completion time is wall-clock-
+    # shaped (queue admission order), not protocol state.
+    for engine in cluster.engines:
+        feed("node", engine.node_id, getattr(engine, "_alive", True))
+        for key in sorted(engine.replicas.keys()):
+            replica = engine.replicas.get(key)
+            feed(key, replica.applied_version, replica.applied_value,
+                 replica.persisted_version, replica.persisted_value,
+                 replica.cluster_persisted_version)
+            if engine.store is not None:
+                feed(engine.store.get(key))
+    log = getattr(cluster, "nvm_log", None)
+    if log is not None:
+        for node_id in range(cluster.config.servers):
+            for key in sorted(log.durable_keys(node_id)):
+                entry = log.durable_entry(node_id, key)
+                feed("log", node_id, key, entry.version, entry.value,
+                     entry.scope_id)
+    return h.hexdigest()
+
+
+@dataclass
+class CellResult:
+    """One DDP model cell's sanitizer verdict."""
+
+    model: str
+    baseline_digest: str
+    batches: int
+    max_batch: int
+    seeds: Dict[int, str] = field(default_factory=dict)
+    """Permutation seed -> digest."""
+    permuted: Dict[int, int] = field(default_factory=dict)
+    observed_pairs: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def diverged(self) -> List[int]:
+        return sorted(seed for seed, digest in self.seeds.items()
+                      if digest != self.baseline_digest)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diverged
+
+
+@dataclass
+class SweepResult:
+    """All cells' verdicts plus aggregate tie coverage."""
+
+    cells: List[CellResult]
+    ops_per_client: int
+    seeds: List[int]
+
+    @property
+    def ok(self) -> bool:
+        return all(cell.ok for cell in self.cells)
+
+    @property
+    def diverged(self) -> List[CellResult]:
+        return [cell for cell in self.cells if not cell.ok]
+
+    def observed_pairs(self) -> List[Tuple[str, str]]:
+        pairs = set()
+        for cell in self.cells:
+            pairs.update(map(tuple, cell.observed_pairs))
+        return sorted(pairs)
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": "repro.order_sweep/1",
+            "ops_per_client": self.ops_per_client,
+            "seeds": list(self.seeds),
+            "ok": self.ok,
+            "cells": [{
+                "model": cell.model,
+                "ok": cell.ok,
+                "baseline_digest": cell.baseline_digest,
+                "batches": cell.batches,
+                "max_batch": cell.max_batch,
+                "digests": {str(seed): digest
+                            for seed, digest in sorted(cell.seeds.items())},
+                "permuted": {str(seed): count
+                             for seed, count in sorted(cell.permuted.items())},
+                "diverged_seeds": cell.diverged,
+                "observed_pairs": [list(p) for p in cell.observed_pairs],
+            } for cell in self.cells],
+        }
+
+
+def _run_once(model, ops_per_client: int, servers: int, clients: int,
+              run_seed: int, sanitizer: TieBatchSanitizer):
+    """One fixed-work cluster run with the sanitizer attached.
+
+    Every client gets the same request budget and the simulation drains
+    to quiescence, so the operation multiset is permutation-invariant
+    and the digest compares converged states, not cut-off snapshots.
+    """
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.config import ClusterConfig
+    from repro.workload.ycsb import WORKLOADS
+
+    config = ClusterConfig(servers=servers, clients_per_server=clients,
+                           seed=run_seed)
+    cluster = Cluster(model, config=config, workload=WORKLOADS["A"])
+    for client in cluster.clients:
+        client.max_requests = ops_per_client
+    sanitizer.attach(cluster.sim)
+    cluster.start()
+    cluster.sim.run()
+    return cluster_digest(cluster)
+
+
+def sweep(models=None, ops_per_client: int = 30,
+          seeds: Iterable[int] = (1, 2, 3, 4),
+          servers: int = 3, clients: int = 2,
+          run_seed: int = 2021) -> SweepResult:
+    """Run every model once unpermuted and once per permutation seed,
+    asserting digest identity.  Defaults are CI-smoke sized."""
+    from repro.core.model import all_ddp_models
+
+    if models is None:
+        models = all_ddp_models()
+    seeds = list(seeds)
+    cells = []
+    for model in models:
+        recorder = TieBatchSanitizer(seed=None)
+        baseline = _run_once(model, ops_per_client, servers, clients,
+                             run_seed, recorder)
+        cell = CellResult(model=str(model), baseline_digest=baseline,
+                          batches=recorder.batches,
+                          max_batch=recorder.max_batch,
+                          observed_pairs=recorder.observed_pairs())
+        for seed in seeds:
+            permuter = TieBatchSanitizer(seed=seed)
+            cell.seeds[seed] = _run_once(model, ops_per_client, servers,
+                                         clients, run_seed, permuter)
+            cell.permuted[seed] = permuter.permuted
+        cells.append(cell)
+    return SweepResult(cells=cells, ops_per_client=ops_per_client,
+                       seeds=seeds)
+
+
+def coverage(flagged_pairs: Iterable[Tuple[str, str]],
+             result: SweepResult) -> Dict[str, List]:
+    """Cross-reference static conflict pairs against observed ties.
+
+    ``flagged_pairs`` are handler pairs from the static pass translated
+    to message-type pairs (via the engines' dispatch tables).  Returns
+    which were exercised by at least one observed tie batch and which
+    were never co-scheduled dynamically (uncovered: the static claim
+    was never put to the test at this duration).
+    """
+    observed = set(map(tuple, result.observed_pairs()))
+    flagged = sorted(set(tuple(sorted(p)) for p in flagged_pairs))
+    exercised = [list(p) for p in flagged if p in observed]
+    uncovered = [list(p) for p in flagged if p not in observed]
+    return {"flagged": [list(p) for p in flagged],
+            "exercised": exercised, "uncovered": uncovered}

@@ -1,0 +1,120 @@
+"""SARIF 2.1.0 export for reprolint results.
+
+``repro lint --sarif`` / ``repro order --sarif`` emit a Static Analysis
+Results Interchange Format document that GitHub code scanning (and any
+SARIF viewer) ingests directly, so lint findings annotate PR diffs
+instead of living only in job logs.
+
+Mapping decisions:
+
+* Every registered rule — plus the engine's built-in checks — gets a
+  ``reportingDescriptor`` carrying the rule's one-line summary and its
+  *guards* rationale, so the code-scanning UI explains why a rule
+  exists, not just that it fired.
+* Unwaived findings are ``error`` (they fail the run; mirroring exit
+  code 1).  Waived findings are still exported but carry a
+  ``suppression`` with the inline justification: code scanning shows
+  them as suppressed rather than silently dropping them, which keeps
+  waivers reviewable in the same UI.
+* Paths are emitted repo-relative with ``uriBaseId: ROOTPATH`` — the
+  standard convention GitHub resolves against the checkout root.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.devtools.engine import ENGINE_RULES, LintResult
+from repro.devtools.registry import all_rules
+
+__all__ = ["to_sarif", "sarif_document"]
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+#: Summaries for the engine's built-in checks, which live outside the
+#: rule registry (they police the lint mechanism itself).
+_ENGINE_RULE_TEXT = {
+    "parse-error": "a linted file does not parse",
+    "waiver-syntax": "a lint-ok comment is malformed or names an "
+                     "unknown rule id",
+    "unused-waiver": "a waiver matched no finding (stale waivers are "
+                     "how a lint layer rots)",
+}
+
+
+def _rule_descriptors() -> List[Dict]:
+    descriptors = []
+    for rule in all_rules():
+        descriptors.append({
+            "id": rule.id,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": f"Guards: {rule.guards}"},
+            "defaultConfiguration": {"level": "error"},
+        })
+    for rule_id in ENGINE_RULES:
+        descriptors.append({
+            "id": rule_id,
+            "shortDescription": {"text": _ENGINE_RULE_TEXT[rule_id]},
+            "defaultConfiguration": {"level": "error"},
+        })
+    return descriptors
+
+
+def sarif_document(result: LintResult, tool_name: str = "reprolint") -> Dict:
+    """The SARIF document for one lint run, as a plain dict."""
+    descriptors = _rule_descriptors()
+    index = {d["id"]: i for i, d in enumerate(descriptors)}
+    results = []
+    for finding in result.findings:
+        entry = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "ROOTPATH",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        }
+        if finding.rule in index:
+            entry["ruleIndex"] = index[finding.rule]
+        if finding.waived:
+            entry["suppressions"] = [{
+                "kind": "inSource",
+                "justification": finding.waive_reason,
+            }]
+        results.append(entry)
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "informationUri":
+                        "https://github.com/paper-repro/repro",
+                    "rules": descriptors,
+                },
+            },
+            "originalUriBaseIds": {
+                "ROOTPATH": {"description": {
+                    "text": "repository checkout root"}},
+            },
+            "results": results,
+        }],
+    }
+
+
+def to_sarif(result: LintResult, tool_name: str = "reprolint") -> str:
+    """Serialize :func:`sarif_document` (stable key order, indented)."""
+    return json.dumps(sarif_document(result, tool_name=tool_name),
+                      indent=2)

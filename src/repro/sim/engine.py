@@ -372,6 +372,11 @@ class Simulator:
         # None by default so the hot loop pays one attribute check per
         # step and nothing else.
         self.profile = None
+        # Optional tie-batch order sanitizer (see
+        # repro.devtools.sanitizer.TieBatchSanitizer): observes — and in
+        # sanitizing mode permutes — same-timestamp pop batches.  Same
+        # contract as ``profile``: None by default, one check per run.
+        self.order_sanitizer = None
 
     # -- factory helpers ------------------------------------------------------
 
@@ -455,10 +460,43 @@ class Simulator:
             # A failure nobody consumed: surface it instead of losing it.
             raise event._value
 
+    def _sanitized_run(self, until: Optional[float], sanitizer: Any) -> None:
+        """The :meth:`run` loop popping whole same-timestamp *waves*.
+
+        All entries tied at the next timestamp are popped together and
+        handed to the sanitizer, which records the batch and (in
+        sanitizing mode) permutes its processing order.  With the
+        identity permutation this is exactly the plain loop: the heap
+        yields ties in insertion-sequence order, and events scheduled
+        *while* a wave runs always carry larger sequence numbers, so
+        they land in a later wave just as they would pop later.
+        """
+        heap = self._heap
+        while heap:
+            when = heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            batch = [heapq.heappop(heap)]
+            while heap and heap[0][0] == when:
+                batch.append(heapq.heappop(heap))
+            if len(batch) > 1:
+                sanitizer.observe(when, batch)
+            self.now = when
+            for _when, _seq, event in batch:
+                event._run_callbacks()
+                if event._ok is False and not event.defused:
+                    raise event._value
+        if until is not None:
+            self.now = until
+
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or ``until`` (absolute ns) is reached."""
         if until is not None and until < self.now:
             raise ValueError(f"run(until={until}) is in the past (now={self.now})")
+        if self.order_sanitizer is not None:
+            self._sanitized_run(until, self.order_sanitizer)
+            return
         profile = self.profile
         if profile is None:
             while self._heap:

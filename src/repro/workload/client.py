@@ -51,6 +51,13 @@ class Client:
         self.completed_requests = 0
         self.process = None
         self._stop = False
+        # Optional request budget: the client stops issuing once it has
+        # completed this many requests (None = run until stopped).  A
+        # cluster whose clients all carry a budget drains to quiescence,
+        # which is what fixed-work experiments (e.g. the tie-batch
+        # sanitizer's byte-identity sweeps) need: the same operation
+        # multiset regardless of how the schedule interleaves.
+        self.max_requests: Optional[int] = None
         # Optional repro.obs.history.HistoryRecorder: the black-box
         # audit's view of this client (pure observation; never touches
         # the simulation).
@@ -124,7 +131,9 @@ class Client:
         scope_length = self.node.config.scope_length
         requests_since_persist = 0
         try:
-            while not self._stop:
+            while not self._stop and (self.max_requests is None
+                                      or self.completed_requests
+                                      < self.max_requests):
                 if transactional:
                     count = yield from self._run_transaction()
                 else:

@@ -20,5 +20,19 @@ class Node:
         for key in self.write_set:
             self._send(0, key)
 
+    def drain(self):
+        for key, value in self.waiting.items():
+            self._send(key, value)
+
+    def push(self):
+        for value in self.waiting.values():
+            self.sim.schedule(0.0, value)
+
+    def blast(self, message):
+        return [self._send(dst, message) for dst in self.peers]
+
+    def ping_all(self):
+        return {dst: self._send(dst, None) for dst in self.peers}
+
     def _send(self, dst, message):
         pass

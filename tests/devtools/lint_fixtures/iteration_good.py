@@ -24,5 +24,17 @@ class Node:
         # Order-insensitive set iteration (pure reduction) is fine.
         return sum(1 for _ in self.write_set)
 
+    def drain(self):
+        for key, value in sorted(self.waiting.items()):
+            self._send(key, value)
+
+    def snapshot(self):
+        # Comprehension without effects: order only shapes a value the
+        # caller may sort.
+        return {key for key in self.write_set}
+
+    def blast(self, message):
+        return [self._send(dst, message) for dst in sorted(self.peers)]
+
     def _send(self, dst, message):
         pass

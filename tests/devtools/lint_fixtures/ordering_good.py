@@ -1,0 +1,30 @@
+"""Passing fixture: an engine whose handlers commute.
+
+Every write is version-guarded monotone (``replica.apply``), sends are
+unconditional or guarded only by message payload, and every call is
+covered by the intrinsic effect model.
+"""
+
+
+class CommutingEngine:
+    _DISPATCH = {
+        MsgType.INV: "_on_inv",
+        MsgType.ACK: "_on_ack",
+    }
+
+    def __init__(self, sim, replicas, network, metrics):
+        self.sim = sim
+        self.replicas = replicas
+        self.network = network
+        self.metrics = metrics
+
+    def _on_inv(self, message):
+        replica = self.replicas.get(message.key)
+        # Monotone install: any pop order converges to the LWW winner.
+        replica.apply(message.version, message.value)
+        self.metrics.count("inv")
+        self.network.send(message.src, message)
+
+    def _on_ack(self, message):
+        if message.version is not None:
+            self.network.send(message.src, message)

@@ -76,9 +76,12 @@ class TestUnorderedIteration:
         result = lint_fixture("iteration_bad.py",
                               rules=["unordered-iteration"])
         findings = result.unwaived
-        # set(...)-typed attribute, dict.keys(), and *_set attribute.
-        assert len(findings) == 3
+        # set(...)-typed attribute, dict.keys()/.items()/.values(),
+        # *_set attribute, and the two effectful comprehensions.
+        assert len(findings) == 7
         assert all("sorted" in f.message for f in findings)
+        comps = [f for f in findings if "comprehension" in f.message]
+        assert len(comps) == 2
 
     def test_sorted_iteration_passes(self, lint_fixture):
         assert lint_fixture("iteration_good.py",
@@ -115,7 +118,8 @@ class TestRuleCatalog:
         assert {"rng-discipline", "wall-clock-ban", "tracer-guard",
                 "tracer-truthiness", "unordered-iteration",
                 "dispatch-completeness", "mutable-default",
-                "bare-except"} <= ids
+                "bare-except", "effect-conflict",
+                "schedule-sensitive-send", "untracked-effect"} <= ids
 
     def test_unknown_rule_id_is_usage_error(self, lint_fixture):
         from repro.devtools import UsageError

@@ -1,0 +1,173 @@
+"""The dynamic half of the determinism certificate.
+
+Record-mode transparency, seeded permutation determinism, the
+delivery-only permutation scope, sweep byte-identity, static/dynamic
+coverage cross-referencing, and the dynamic side of the injected
+non-commuting mutation (hidden shared state across co-scheduled
+handlers — its static twin is the ``ordering_bad`` fixture in
+test_ordering.py).
+"""
+
+import pytest
+
+from repro.core.model import Consistency, DdpModel, Persistency
+from repro.core.replica import KeyReplica
+from repro.devtools.sanitizer import (TieBatchSanitizer, cluster_digest,
+                                      coverage, sweep, _run_once)
+
+LIN_STRICT = DdpModel(Consistency.LINEARIZABLE, Persistency.STRICT)
+EVT_EVT = DdpModel(Consistency.EVENTUAL, Persistency.EVENTUAL)
+
+
+def _plain_digest(model, ops=20):
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.config import ClusterConfig
+    from repro.workload.ycsb import WORKLOADS
+
+    config = ClusterConfig(servers=3, clients_per_server=2, seed=2021)
+    cluster = Cluster(model, config=config, workload=WORKLOADS["A"])
+    for client in cluster.clients:
+        client.max_requests = ops
+    cluster.start()
+    cluster.sim.run()
+    return cluster_digest(cluster)
+
+
+class TestRecordMode:
+    def test_recording_is_transparent(self):
+        # A recorder (seed=None) must not perturb the run: the wave
+        # loop processes batches in exactly the plain kernel's order.
+        recorder = TieBatchSanitizer(seed=None)
+        digest = _run_once(LIN_STRICT, 20, 3, 2, 2021, recorder)
+        assert digest == _plain_digest(LIN_STRICT, ops=20)
+        assert recorder.batches > 0
+        assert recorder.permuted == 0
+
+    def test_tie_stats_observed(self):
+        recorder = TieBatchSanitizer(seed=None)
+        _run_once(LIN_STRICT, 20, 3, 2, 2021, recorder)
+        assert recorder.events_tied >= 2 * recorder.batches
+        assert recorder.max_batch >= 2
+        pairs = recorder.observed_pairs()
+        assert pairs == sorted(pairs)
+        assert any(a == "INV" or b == "INV" for a, b in pairs)
+
+
+class TestPermutation:
+    def test_same_seed_same_digest(self):
+        first = _run_once(LIN_STRICT, 20, 3, 2, 2021,
+                          TieBatchSanitizer(seed=7))
+        second = _run_once(LIN_STRICT, 20, 3, 2, 2021,
+                           TieBatchSanitizer(seed=7))
+        assert first == second
+
+    def test_permutations_actually_happen(self):
+        permuter = TieBatchSanitizer(seed=1)
+        _run_once(LIN_STRICT, 20, 3, 2, 2021, permuter)
+        assert permuter.permuted > 0
+
+    def test_only_deliveries_move(self):
+        class Event:
+            def __init__(self, kind):
+                self.kind = kind
+                self._value = None
+
+        proc = [(1.0, 0, Event("process_start")),
+                (1.0, 3, Event("timeout"))]
+        deliveries = [(1.0, 1, Event("msg_delivery")),
+                      (1.0, 2, Event("msg_delivery")),
+                      (1.0, 4, Event("msg_delivery"))]
+        batch = [proc[0], deliveries[0], deliveries[1], proc[1],
+                 deliveries[2]]
+        sanitizer = TieBatchSanitizer(seed=3)
+        for _ in range(20):  # some shuffle must move something
+            sanitizer.observe(1.0, list(batch))
+        shuffled = list(batch)
+        sanitizer.observe(1.0, shuffled)
+        # non-delivery entries pinned to their original positions
+        assert shuffled[0] is proc[0]
+        assert shuffled[3] is proc[1]
+        # delivery slots hold exactly the delivery entries
+        assert {id(shuffled[i]) for i in (1, 2, 4)} == \
+            {id(e) for e in deliveries}
+
+    def test_byte_identity_on_real_models(self):
+        for model in (LIN_STRICT, EVT_EVT):
+            baseline = _run_once(model, 20, 3, 2, 2021,
+                                 TieBatchSanitizer(seed=None))
+            for seed in (1, 2):
+                permuted = _run_once(model, 20, 3, 2, 2021,
+                                     TieBatchSanitizer(seed=seed))
+                assert permuted == baseline, (str(model), seed)
+
+
+class TestSweep:
+    def test_smoke(self):
+        result = sweep(models=[LIN_STRICT, EVT_EVT], ops_per_client=15,
+                       seeds=(1,))
+        assert result.ok
+        assert len(result.cells) == 2
+        doc = result.to_dict()
+        assert doc["schema"] == "repro.order_sweep/1"
+        assert doc["ok"] is True
+        assert doc["ops_per_client"] == 15
+        for cell in doc["cells"]:
+            assert cell["batches"] > 0
+            assert list(cell["digests"]) == ["1"]
+
+    def test_coverage_cross_reference(self):
+        result = sweep(models=[LIN_STRICT], ops_per_client=15, seeds=(1,))
+        observed = result.observed_pairs()
+        assert observed
+        exercised_pair = observed[0]
+        cover = coverage([exercised_pair, ("ZZZ", "ZZZ")], result)
+        assert list(exercised_pair) in cover["exercised"]
+        assert ["ZZZ", "ZZZ"] in cover["uncovered"]
+        assert len(cover["flagged"]) == 2
+
+
+class TestInjectedMutation:
+    def test_hidden_shared_state_is_caught(self, monkeypatch):
+        # The dynamic twin of the ordering_bad fixture: co-scheduled
+        # handlers share an unsynchronized global (sequence allocation
+        # inside apply), so handler start order leaks into protocol
+        # state.  The static pass flags this shape as effect-conflict;
+        # the sanitizer must observe real divergence.
+        def make_stamped():
+            counter = {"n": 0}
+
+            def stamped_apply(self, version, value):
+                counter["n"] += 1
+                if version <= self.applied_version:
+                    return False
+                self.applied_version = version
+                self.applied_value = (value, counter["n"])
+                self.condition.notify()
+                if self.observer is not None:
+                    self.observer("apply", self.key, version)
+                return True
+            return stamped_apply
+
+        monkeypatch.setattr(KeyReplica, "apply", make_stamped())
+        baseline = _run_once(LIN_STRICT, 30, 3, 2, 2021,
+                             TieBatchSanitizer(seed=None))
+        monkeypatch.setattr(KeyReplica, "apply", make_stamped())
+        permuted = _run_once(LIN_STRICT, 30, 3, 2, 2021,
+                             TieBatchSanitizer(seed=1))
+        assert permuted != baseline
+
+    def test_divergence_maps_to_flagged_pair(self, monkeypatch):
+        # The pair the mutation races on (INV~INV: concurrent applies)
+        # must be among the ties the diverging run observed, so the
+        # report can point back at the static finding.
+        permuter = TieBatchSanitizer(seed=1)
+        _run_once(LIN_STRICT, 30, 3, 2, 2021, permuter)
+        assert ("INV", "INV") in permuter.observed_pairs()
+
+
+@pytest.mark.slow
+class TestFullMatrix:
+    def test_all_25_models_byte_identical(self):
+        result = sweep(ops_per_client=30, seeds=(1, 2, 3, 4))
+        assert result.ok, [(c.model, c.diverged) for c in result.diverged]
+        assert len(result.cells) == 25
