@@ -22,11 +22,10 @@ from repro.audit.checkers import (CONSISTENCY_CHECKERS, CheckResult,
                                   PreparedHistory, check_no_phantom)
 from repro.audit.durability import DURABILITY_CHECKERS, checks_for_cell
 from repro.obs.history import History, HistoryOpRecord
+from repro.obs.schemas import AUDIT_REPORT_SCHEMA as AUDIT_SCHEMA
 
 __all__ = ["AUDIT_SCHEMA", "CONSISTENCY_ORDER", "PERSISTENCY_ORDER",
            "audit_history", "audit_exit_code", "format_audit_table"]
-
-AUDIT_SCHEMA = "repro.audit_report/1"
 
 CONSISTENCY_ORDER = ("linearizable", "read_enforced", "transactional",
                      "causal", "eventual")

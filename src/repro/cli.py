@@ -24,18 +24,31 @@ Subcommands:
   Brendan-Gregg folded stacks / speedscope JSON, phase-tagged (kernel /
   protocol / store / workload); ``--json`` emits the machine-readable
   snapshot.
-* ``diff`` — compare two run reports or ``BENCH_*.json`` artifacts:
-  config-hash compatibility check, per-metric deltas with a noise
-  threshold, and a regression verdict (markdown or ``--json``).  Exit
-  codes: 0 no regression, 1 regression, 2 unusable/incompatible input.
+* ``diff`` — compare two run reports, sweep reports, or
+  ``BENCH_*.json`` artifacts: config-hash compatibility check,
+  per-metric deltas with a noise threshold (per matrix cell for sweep
+  reports, where a crashed cell also counts as a regression), and a
+  regression verdict (markdown or ``--json``).  Exit codes: 0 no
+  regression, 1 regression, 2 unusable/incompatible input.
 * ``audit`` — the black-box contract auditor: verify a recorded client
   history (``run --history-out``) against all 25 consistency/persistency
   cells from observation alone and print the verdict matrix (or the
   ``repro.audit_report/1`` JSON with ``--json``).  ``run --audit`` does
   the record-and-audit round trip in one command.  Exit codes: 0 target
   model passes, 1 contract violation, 2 unusable history.
-* ``sweep`` — run several models on the same workload, normalized to
+* ``sweep`` — run several models (or, with ``--all``, the full 5x5
+  matrix, times ``--seeds``) on the same workload, normalized to
   <Linearizable, Synchronous> (a one-line Figure 6 slice).
+  ``--workers N`` fans the matrix across worker processes; the merged
+  ``repro.sweep_report/1`` artifact (``--out``) is byte-identical
+  whatever the worker count, and a crashed cell becomes a schema-valid
+  ``error`` entry (exit code 1).  ``--journeys`` / ``--health`` /
+  ``--profile`` / ``--audit`` embed the matching per-cell sections;
+  ``--html-out`` also renders the dashboard.
+* ``dash`` — render a saved sweep report as one self-contained static
+  HTML dashboard: 5x5 heatmaps, journey waterfalls, kernel
+  attribution, ``--baseline`` diff deltas, and ``--bench-dir`` trend
+  sparklines.  Exit code 2 on unusable input.
 * ``tradeoffs`` — print the derived Table 4 (or the full 25-model grid).
 * ``recover`` — run a workload, crash the cluster, simulate recovery,
   and report what survived.
@@ -62,6 +75,8 @@ Examples::
     python -m repro.cli run --history-out h.jsonl --crash 1@120+60
     python -m repro.cli audit h.jsonl --consistency eventual
     python -m repro.cli sweep --workload B --duration-us 150
+    python -m repro.cli sweep --all --workers 4 --out sweep.json --html-out dash.html
+    python -m repro.cli dash sweep.json --baseline old_sweep.json --bench-dir benchmarks/results
     python -m repro.cli tradeoffs --all
     python -m repro.cli recover --persistency eventual --strategy majority
     python -m repro.cli lint src tests benchmarks --json
@@ -90,6 +105,14 @@ from repro.faults import (FaultInjector, load_fault_plan,
 from repro.obs import (
     DiffError,
     FanoutTracer,
+    SweepProgress,
+    build_dashboard,
+    build_sweep_report,
+    load_bench_dir,
+    matrix_specs,
+    run_sweep,
+    write_dashboard,
+    write_sweep_report,
     FrameSampler,
     HealthMonitor,
     HistoryRecorder,
@@ -111,6 +134,8 @@ from repro.obs import (
     write_history,
     write_run_report,
 )
+from repro.obs.schemas import (KERNEL_PROFILE_SCHEMA, SchemaError,
+                               validate_artifact)
 from repro.recovery.replayer import RecoveryReplayer
 from repro.sim.trace import Tracer
 from repro.workload.ycsb import WORKLOADS
@@ -456,10 +481,11 @@ def build_parser() -> argparse.ArgumentParser:
                                      "instead of the hotspot table")
 
     diff_parser = subparsers.add_parser(
-        "diff", help="compare two run reports / bench artifacts for "
-                     "regressions")
+        "diff", help="compare two run/sweep reports or bench artifacts "
+                     "for regressions")
     diff_parser.add_argument("baseline", help="baseline artifact "
-                             "(run-report or BENCH_*.json)")
+                             "(run report, sweep report, or "
+                             "BENCH_*.json)")
     diff_parser.add_argument("candidate", help="candidate artifact to "
                              "judge against the baseline")
     diff_parser.add_argument("--threshold", type=_positive(float),
@@ -495,10 +521,62 @@ def build_parser() -> argparse.ArgumentParser:
                               help="also write the JSON audit report here")
 
     sweep_parser = subparsers.add_parser(
-        "sweep", help="compare models on one workload")
+        "sweep", help="compare models on one workload; --workers fans "
+                      "the matrix across processes")
     sweep_parser.add_argument("--all", action="store_true",
                               help="sweep all 25 models (slow)")
     _add_common(sweep_parser)
+    sweep_parser.add_argument("--workers", type=_positive(int), default=1,
+                              metavar="N",
+                              help="worker processes (default: 1 = "
+                                   "in-process); the merged artifact is "
+                                   "byte-identical for any worker count")
+    sweep_parser.add_argument("--seeds", type=int, nargs="+", default=None,
+                              metavar="SEED",
+                              help="run each model once per seed "
+                                   "(default: just --seed)")
+    sweep_parser.add_argument("--out", metavar="PATH", default=None,
+                              help="write the merged repro.sweep_report/1 "
+                                   "JSON here")
+    sweep_parser.add_argument("--html-out", metavar="PATH", default=None,
+                              help="also render the self-contained HTML "
+                                   "dashboard here")
+    sweep_parser.add_argument("--baseline", metavar="PATH", default=None,
+                              help="sweep report to diff against in the "
+                                   "dashboard")
+    sweep_parser.add_argument("--bench-dir", metavar="DIR", default=None,
+                              help="BENCH_*.json directory for dashboard "
+                                   "trend sparklines")
+    sweep_parser.add_argument("--journeys", action="store_true",
+                              help="embed per-cell journey waterfalls")
+    sweep_parser.add_argument("--health", action="store_true",
+                              help="embed per-cell health sections")
+    sweep_parser.add_argument("--profile", action="store_true",
+                              help="embed per-cell kernel profiles "
+                                   "(deterministic counters only)")
+    sweep_parser.add_argument("--audit", action="store_true",
+                              help="embed per-cell black-box audit "
+                                   "verdicts")
+    sweep_parser.add_argument("--no-progress", action="store_true",
+                              help="suppress the stderr progress "
+                                   "telemetry")
+
+    dash_parser = subparsers.add_parser(
+        "dash", help="render a sweep report as a static HTML dashboard")
+    dash_parser.add_argument("report", metavar="SWEEP.json",
+                             help="repro.sweep_report/1 artifact from "
+                                  "sweep --out")
+    dash_parser.add_argument("--out", metavar="PATH", default=None,
+                             help="output HTML path "
+                                  "(default: <report>.html)")
+    dash_parser.add_argument("--baseline", metavar="PATH", default=None,
+                             help="sweep report to diff against "
+                                  "(deltas colored by repro diff verdict)")
+    dash_parser.add_argument("--bench-dir", metavar="DIR", default=None,
+                             help="BENCH_*.json directory for trend "
+                                  "sparklines")
+    dash_parser.add_argument("--title", default="DDP sweep dashboard",
+                             help="page title")
 
     tradeoff_parser = subparsers.add_parser(
         "tradeoffs", help="print the derived Table 4")
@@ -791,7 +869,7 @@ def _cmd_profile(args) -> int:
             sampler.stop()
     if args.as_json:
         doc = {
-            "schema": "repro.kernel_profile/1",
+            "schema": KERNEL_PROFILE_SCHEMA,
             "meta": _run_meta(args, model, duration, warmup),
             "profile": profile.snapshot(),
         }
@@ -862,6 +940,16 @@ def _cmd_audit(args) -> int:
     return audit_exit_code(report)
 
 
+def _dashboard_inputs(args):
+    """Load the optional dashboard context (baseline sweep, bench dir).
+
+    :class:`DiffError` propagates for an unusable baseline — the caller
+    maps it to exit code 2."""
+    baseline = load_artifact(args.baseline) if args.baseline else None
+    bench = load_bench_dir(args.bench_dir) if args.bench_dir else []
+    return baseline, bench
+
+
 def _cmd_sweep(args) -> int:
     duration = args.duration_us * 1000.0
     if args.all:
@@ -875,17 +963,79 @@ def _cmd_sweep(args) -> int:
             DdpModel(Consistency.CAUSAL, Persistency.EVENTUAL),
             DdpModel(Consistency.EVENTUAL, Persistency.EVENTUAL),
         ]
+    seeds = args.seeds if args.seeds else [args.seed]
+    sections = tuple(name for name in ("journeys", "health", "profile",
+                                       "audit") if getattr(args, name))
+    specs = matrix_specs(models, seeds, workload=args.workload,
+                         servers=args.servers, clients=args.clients,
+                         duration_ns=duration, warmup_ns=duration / 10,
+                         sections=sections)
+    progress = (None if args.no_progress
+                else SweepProgress(len(specs), workers=args.workers))
+    results = run_sweep(specs, workers=args.workers, progress=progress)
+    doc = build_sweep_report(results)
+    if args.out:
+        write_sweep_report(args.out, doc)
+        print(f"sweep report -> {args.out} "
+              f"({doc['totals']['ok']}/{doc['totals']['cells']} cells ok)")
+    if args.html_out:
+        try:
+            baseline_doc, bench = _dashboard_inputs(args)
+        except DiffError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
+        write_dashboard(args.html_out,
+                        build_dashboard(doc, baseline=baseline_doc,
+                                        bench_docs=bench))
+        print(f"dashboard -> {args.html_out}")
+    by_key = {(r.spec.consistency, r.spec.persistency, r.spec.seed): r
+              for r in results}
     rows = []
     baseline = None
     for model in models:
-        summary = run_simulation(model, WORKLOADS[args.workload],
-                                 config=_config_from(args),
-                                 duration_ns=duration,
-                                 warmup_ns=duration / 10)
+        result = by_key[(model.consistency.value, model.persistency.value,
+                         seeds[0])]
+        if result.status != "ok":
+            continue
         if baseline is None:
-            baseline = summary
-        rows.append((str(model), summary))
-    print(format_summary_table(rows, baseline=baseline))
+            baseline = result.summary
+        rows.append((str(model), result.summary))
+    if rows:
+        print(format_summary_table(rows, baseline=baseline))
+    errors = doc["totals"]["errors"]
+    if errors:
+        print(f"repro: {errors} sweep cell(s) errored", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_dash(args) -> int:
+    try:
+        with open(args.report) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        print(f"repro: cannot read {args.report}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"repro: {args.report} is not valid JSON ({exc})",
+              file=sys.stderr)
+        return 2
+    try:
+        validate_artifact(doc, family="repro.sweep_report",
+                          path=args.report)
+    except SchemaError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    try:
+        baseline_doc, bench = _dashboard_inputs(args)
+    except DiffError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    out = args.out or args.report + ".html"
+    write_dashboard(out, build_dashboard(doc, baseline=baseline_doc,
+                                         bench_docs=bench,
+                                         title=args.title))
+    print(f"dashboard -> {out}")
     return 0
 
 
@@ -924,6 +1074,7 @@ _COMMANDS = {
     "diff": _cmd_diff,
     "audit": _cmd_audit,
     "sweep": _cmd_sweep,
+    "dash": _cmd_dash,
     "tradeoffs": _cmd_tradeoffs,
     "recover": _cmd_recover,
     "lint": cmd_lint,

@@ -264,8 +264,9 @@ def to_json(result: LintResult) -> str:
     counts: Dict[str, int] = {}
     for finding in result.unwaived:
         counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    from repro.obs.schemas import LINT_REPORT_SCHEMA
     doc = {
-        "schema": "repro.lint_report/1",
+        "schema": LINT_REPORT_SCHEMA,
         "paths": list(result.paths),
         "files": result.files,
         "rules": list(result.rules),

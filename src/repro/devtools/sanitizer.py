@@ -223,8 +223,9 @@ class SweepResult:
         return sorted(pairs)
 
     def to_dict(self) -> Dict:
+        from repro.obs.schemas import ORDER_SWEEP_SCHEMA
         return {
-            "schema": "repro.order_sweep/1",
+            "schema": ORDER_SWEEP_SCHEMA,
             "ops_per_client": self.ops_per_client,
             "seeds": list(self.seeds),
             "ok": self.ok,

@@ -30,8 +30,21 @@ VP/DP events) into artifacts a human or a tool can consume:
 * :mod:`repro.obs.history` — :class:`HistoryRecorder`, the bounded
   client-boundary operation recorder behind the black-box contract
   auditor (:mod:`repro.audit`), and the ``repro.history/1`` artifact.
+* :mod:`repro.obs.schemas` — the one registry of every artifact schema
+  tag, with :func:`validate_artifact` used by all CLI load paths.
+* :mod:`repro.obs.sweep` — the sweep observatory: the models x seeds
+  matrix fanned across worker processes and merged deterministically
+  into ``repro.sweep_report/1`` (byte-identical for any worker count).
+* :mod:`repro.obs.dashboard` — the ``repro dash`` renderer: one
+  self-contained static HTML page (heatmaps, waterfalls, kernel
+  attribution, baseline diff, bench trends) from a sweep report.
 """
 
+from repro.obs.dashboard import (
+    build_dashboard,
+    load_bench_dir,
+    write_dashboard,
+)
 from repro.obs.diff import (
     DiffError,
     DiffReport,
@@ -78,6 +91,25 @@ from repro.obs.report import (
     config_fingerprint,
     write_run_report,
 )
+from repro.obs.schemas import (
+    SchemaError,
+    parse_schema_tag,
+    schema_tag,
+    schema_tags,
+    validate_artifact,
+)
+from repro.obs.sweep import (
+    CellResult,
+    CellSpec,
+    SweepProgress,
+    build_sweep_report,
+    matrix_specs,
+    run_cell,
+    run_sweep,
+    strip_wall_clock,
+    sweep_summaries,
+    write_sweep_report,
+)
 
 __all__ = [
     "JsonlSink",
@@ -115,4 +147,22 @@ __all__ = [
     "diff_paths",
     "format_markdown",
     "load_artifact",
+    "SchemaError",
+    "parse_schema_tag",
+    "schema_tag",
+    "schema_tags",
+    "validate_artifact",
+    "CellResult",
+    "CellSpec",
+    "SweepProgress",
+    "build_sweep_report",
+    "matrix_specs",
+    "run_cell",
+    "run_sweep",
+    "strip_wall_clock",
+    "sweep_summaries",
+    "write_sweep_report",
+    "build_dashboard",
+    "load_bench_dir",
+    "write_dashboard",
 ]

@@ -27,15 +27,15 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.schemas import (DIFF_REPORT_SCHEMA as DIFF_SCHEMA,
+                               SchemaError, schema_tags, validate_artifact)
+
 __all__ = ["DiffError", "MetricDelta", "DiffReport", "load_artifact",
            "diff_documents", "diff_paths", "format_markdown", "diff_json"]
 
-DIFF_SCHEMA = "repro.diff_report/1"
-
-RUN_REPORT_SCHEMAS = ("repro.run_report/1", "repro.run_report/2",
-                      "repro.run_report/3", "repro.run_report/4",
-                      "repro.run_report/5", "repro.run_report/6")
-BENCH_SCHEMAS = ("repro.bench/1",)
+RUN_REPORT_SCHEMAS = schema_tags("repro.run_report")
+BENCH_SCHEMAS = schema_tags("repro.bench")
+SWEEP_SCHEMAS = schema_tags("repro.sweep_report")
 
 #: Metric name -> direction.  "higher" means an increase is good (a
 #: decrease beyond the threshold is a regression), "lower" the reverse;
@@ -54,6 +54,9 @@ METRIC_DIRECTIONS: Dict[str, str] = {
     "violations_total": "lower",
     "cells_failed": "lower",
     "target_failed_checks": "lower",
+    # Sweep reports: a cell that errored in the candidate but ran clean
+    # in the baseline is a regression in its own right.
+    "cell_error": "lower",
 }
 
 #: Wall-clock metrics (the ``profile`` section of run reports, and the
@@ -143,6 +146,10 @@ class DiffReport:
 # loading
 # ---------------------------------------------------------------------------
 
+#: The artifact kinds ``repro diff`` can compare.
+_DIFFABLE = RUN_REPORT_SCHEMAS + BENCH_SCHEMAS + SWEEP_SCHEMAS
+
+
 def load_artifact(path: str) -> Dict[str, Any]:
     """Load and schema-check one artifact; :class:`DiffError` on any
     unusable input."""
@@ -153,17 +160,23 @@ def load_artifact(path: str) -> Dict[str, Any]:
         raise DiffError(f"cannot read {path}: {exc}") from exc
     except json.JSONDecodeError as exc:
         raise DiffError(f"{path} is not valid JSON ({exc})") from exc
-    if not isinstance(doc, dict) or "schema" not in doc:
-        raise DiffError(f"{path}: not a repro artifact (no schema field)")
+    try:
+        validate_artifact(doc, path=path)
+    except SchemaError as exc:
+        raise DiffError(str(exc)) from exc
     schema = doc["schema"]
-    if schema not in RUN_REPORT_SCHEMAS + BENCH_SCHEMAS:
-        raise DiffError(f"{path}: unsupported schema {schema!r} (expected "
-                        f"one of {', '.join(RUN_REPORT_SCHEMAS + BENCH_SCHEMAS)})")
+    if schema not in _DIFFABLE:
+        raise DiffError(f"{path}: cannot diff a {schema} artifact "
+                        f"(expected one of {', '.join(_DIFFABLE)})")
     return doc
 
 
 def _schema_family(doc: Dict[str, Any]) -> str:
-    return "bench" if doc["schema"] in BENCH_SCHEMAS else "run_report"
+    if doc["schema"] in BENCH_SCHEMAS:
+        return "bench"
+    if doc["schema"] in SWEEP_SCHEMAS:
+        return "sweep_report"
+    return "run_report"
 
 
 def _doc_config_hash(doc: Dict[str, Any]) -> Optional[str]:
@@ -174,14 +187,36 @@ def _doc_config_hash(doc: Dict[str, Any]) -> Optional[str]:
     return value if isinstance(value, str) else None
 
 
+def _sweep_cell_label(cell: Dict[str, Any]) -> str:
+    return (f"{cell.get('consistency', '?')}/{cell.get('persistency', '?')}"
+            f"@seed{cell.get('seed', '?')}")
+
+
 def _metric_rows(doc: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
-    """label -> {metric: value} for either artifact kind."""
+    """label -> {metric: value} for any diffable artifact kind."""
     if _schema_family(doc) == "bench":
         rows = {}
         for label, metrics in doc.get("metrics", {}).items():
             if isinstance(metrics, dict):
                 rows[label] = {k: v for k, v in metrics.items()
                                if isinstance(v, (int, float))}
+        return rows
+    if _schema_family(doc) == "sweep_report":
+        # One row per matrix cell.  ``cell_error`` (0 ok / 1 errored)
+        # diffs with direction "lower", so a cell that crashed only in
+        # the candidate is a regression even with no shared metrics;
+        # cells present on one side only surface via only_in_*.
+        rows = {}
+        for cell in doc.get("cells", []):
+            if not isinstance(cell, dict):
+                continue
+            metrics = {"cell_error":
+                       0 if cell.get("status") == "ok" else 1}
+            summary = cell.get("summary")
+            if isinstance(summary, dict):
+                metrics.update({k: v for k, v in summary.items()
+                                if isinstance(v, (int, float))})
+            rows[_sweep_cell_label(cell)] = metrics
         return rows
     summary = doc.get("summary", {})
     rows = {"summary": {k: v for k, v in summary.items()

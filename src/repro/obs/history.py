@@ -42,12 +42,11 @@ from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.core.replica import Version, ZERO_VERSION
+from repro.obs.schemas import HISTORY_SCHEMA
 
 __all__ = ["HISTORY_SCHEMA", "HistoryOpRecord", "History",
            "HistoryRecorder", "recovered_from_cluster", "write_history",
            "load_history"]
-
-HISTORY_SCHEMA = "repro.history/1"
 
 
 @dataclass

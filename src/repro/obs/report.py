@@ -61,11 +61,10 @@ import math
 from typing import Any, Dict, Optional
 
 from repro.analysis.metrics import Metrics, Summary
+from repro.obs.schemas import RUN_REPORT_SCHEMA as SCHEMA
 
 __all__ = ["SCHEMA", "config_fingerprint", "build_run_report",
            "write_run_report"]
-
-SCHEMA = "repro.run_report/6"
 
 
 def _clean(value: Any) -> Any:

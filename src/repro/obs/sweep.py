@@ -1,0 +1,445 @@
+"""The sweep observatory: a parallel matrix runner with deterministic merge.
+
+The paper's core deliverable is the 5x5 consistency x persistency
+matrix, yet until this module the reproduction ran it one cell at a
+time.  :func:`run_sweep` fans the ``models x seeds`` matrix across
+worker processes (``concurrent.futures.ProcessPoolExecutor``;
+``workers=1`` keeps today's in-process path) and merges the results
+**deterministically**: cells are keyed and sorted by ``(consistency,
+persistency, seed)`` regardless of completion order, and every
+wall-clock-derived value is stripped from the merged document, so a
+``--workers 8`` sweep emits a ``repro.sweep_report/1`` artifact
+byte-identical to a ``--workers 1`` sweep (asserted in
+``tests/obs/test_sweep.py`` and in CI).
+
+Three design rules:
+
+* **workers run the existing pipeline** — each cell is one
+  :func:`repro.cluster.cluster.run_simulation`-shaped run (built here
+  from a :class:`Cluster` so post-run recovery state is reachable),
+  with the same observability sinks the ``run`` subcommand attaches:
+  journeys, health, kernel profile, black-box audit, per the cell's
+  requested ``sections``.  Same-seed runs are byte-identical across
+  processes (the PR-1 ``SeededStream`` fix), so fanning out cannot
+  change any simulated number.
+* **failure is a value** — a worker that raises (or a pool that dies)
+  becomes a per-cell ``status: "error"`` entry with the exception text;
+  the partial artifact stays schema-valid and the CLI exits non-zero,
+  rather than a hung or torn sweep.
+* **timing is telemetry, not data** — per-cell wall seconds and
+  events/sec (from the always-attached :class:`KernelProfile`) feed the
+  live progress display and the caller's ``timing`` side-channel only;
+  they never enter the merged artifact (see :func:`strip_wall_clock`).
+
+``REPRO_SWEEP_TEST_CRASH`` (comma-separated ``consistency:persistency``
+or ``consistency:persistency:seed`` cells) rigs matching workers to
+raise — the hook the failure-path tests and CI use to prove the partial-
+artifact contract without patching across process boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import Summary
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import ClusterConfig
+from repro.core.model import Consistency, DdpModel, Persistency
+from repro.obs.journey import JourneyTracker
+from repro.obs.monitor import HealthMonitor, health_json
+from repro.obs.profile import KernelProfile
+from repro.obs.report import _clean, config_fingerprint
+from repro.obs.schemas import SWEEP_REPORT_SCHEMA
+from repro.workload.ycsb import WORKLOADS
+
+__all__ = ["CellSpec", "CellResult", "SweepProgress", "matrix_specs",
+           "run_cell", "run_sweep", "strip_wall_clock", "sweep_meta",
+           "build_sweep_report", "write_sweep_report", "sweep_summaries",
+           "SECTIONS"]
+
+#: Optional per-cell report sections a sweep can request.
+SECTIONS = ("journeys", "health", "profile", "audit")
+
+#: Keys whose values derive from the wall clock.  They are removed
+#: (recursively) from every section of the merged artifact: wall time
+#: is machine- and schedule-dependent, and the sweep report's contract
+#: is byte-identity across worker counts.
+_WALL_CLOCK_KEYS = frozenset({
+    "wall_seconds", "events_per_wall_second",
+    "wall_seconds_per_sim_second", "loop_wall_seconds",
+    "attributed_wall_seconds", "attributed_fraction",
+    "checker_wall_seconds", "wall_ms",
+})
+
+_CRASH_ENV = "REPRO_SWEEP_TEST_CRASH"
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One (model, seed) cell of a sweep matrix."""
+
+    consistency: str
+    persistency: str
+    seed: int
+    workload: str = "A"
+    servers: int = 5
+    clients: int = 100
+    duration_ns: float = 100_000.0
+    warmup_ns: float = 10_000.0
+    sections: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        unknown = set(self.sections) - set(SECTIONS)
+        if unknown:
+            raise ValueError(f"unknown sweep section(s): "
+                             f"{', '.join(sorted(unknown))}")
+
+    @property
+    def model(self) -> DdpModel:
+        return DdpModel(Consistency(self.consistency),
+                        Persistency(self.persistency))
+
+    @property
+    def sort_key(self) -> Tuple[str, str, int]:
+        """The deterministic merge key: completion order never matters."""
+        return (self.consistency, self.persistency, self.seed)
+
+    @property
+    def label(self) -> str:
+        return f"{str(self.model)} seed={self.seed}"
+
+
+@dataclass
+class CellResult:
+    """What one cell produced: a deterministic payload plus timing."""
+
+    spec: CellSpec
+    status: str                       # "ok" | "error"
+    summary: Optional[Summary] = None
+    sections: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    timing: Optional[Dict[str, float]] = None
+    """``{wall_seconds, events_per_wall_second, events_processed}`` —
+    progress telemetry only, never merged into the artifact."""
+
+
+def matrix_specs(models: Sequence[DdpModel], seeds: Sequence[int],
+                 workload: str = "A", servers: int = 5, clients: int = 100,
+                 duration_ns: float = 100_000.0,
+                 warmup_ns: float = 10_000.0,
+                 sections: Sequence[str] = ()) -> List[CellSpec]:
+    """The ``models x seeds`` cell list, in deterministic order."""
+    specs = [CellSpec(model.consistency.value, model.persistency.value,
+                      seed, workload=workload, servers=servers,
+                      clients=clients, duration_ns=duration_ns,
+                      warmup_ns=warmup_ns, sections=tuple(sections))
+             for model in models for seed in seeds]
+    return sorted(specs, key=lambda s: s.sort_key)
+
+
+def strip_wall_clock(value: Any) -> Any:
+    """Recursively remove wall-clock-derived keys from a section.
+
+    Every deterministic counter survives; anything measured in real
+    seconds (or derived from it) is dropped so the merged artifact is
+    byte-identical across machines and worker counts.
+    """
+    if isinstance(value, dict):
+        return {k: strip_wall_clock(v) for k, v in value.items()
+                if k not in _WALL_CLOCK_KEYS}
+    if isinstance(value, (list, tuple)):
+        return [strip_wall_clock(v) for v in value]
+    return value
+
+
+def _rigged_to_crash(spec: CellSpec) -> bool:
+    rigged = os.environ.get(_CRASH_ENV, "")
+    for entry in rigged.split(","):
+        parts = entry.strip().split(":")
+        if len(parts) == 2 and (parts[0], parts[1]) == (spec.consistency,
+                                                        spec.persistency):
+            return True
+        if len(parts) == 3 and (parts[0], parts[1], parts[2]) == (
+                spec.consistency, spec.persistency, str(spec.seed)):
+            return True
+    return False
+
+
+def _cell_meta(spec: CellSpec) -> Dict[str, Any]:
+    """Run metadata for a cell's embedded audit (mirrors the ``run``
+    subcommand's ``_run_meta`` shape)."""
+    model = spec.model
+    return {
+        "model": str(model),
+        "consistency": spec.consistency,
+        "persistency": spec.persistency,
+        "workload": spec.workload,
+        "servers": spec.servers,
+        "clients": spec.clients,
+        "seed": spec.seed,
+        "duration_ns": spec.duration_ns,
+        "warmup_ns": spec.warmup_ns,
+        "config_hash": config_fingerprint({
+            "model": str(model),
+            "workload": spec.workload,
+            "servers": spec.servers,
+            "clients": spec.clients,
+        }),
+    }
+
+
+def run_cell(spec: CellSpec) -> CellResult:
+    """Run one cell in this process (the worker body).
+
+    Attaches a :class:`KernelProfile` unconditionally — profiled runs
+    are byte-identical to unprofiled ones (asserted since PR 6), and
+    its snapshot is the cell's timing telemetry — plus whichever
+    optional sinks ``spec.sections`` requests.
+    """
+    if _rigged_to_crash(spec):
+        raise RuntimeError(f"rigged crash ({_CRASH_ENV}) for cell "
+                           f"{spec.consistency}:{spec.persistency}")
+    model = spec.model
+    profile = KernelProfile()
+    journey = (JourneyTracker(spec.servers)
+               if "journeys" in spec.sections else None)
+    monitor = HealthMonitor() if "health" in spec.sections else None
+    recorder = None
+    if "audit" in spec.sections:
+        from repro.obs.history import HistoryRecorder
+        recorder = HistoryRecorder()
+    cluster = Cluster(model,
+                      config=ClusterConfig(
+                          servers=spec.servers,
+                          clients_per_server=spec.clients // spec.servers,
+                          seed=spec.seed),
+                      workload=WORKLOADS[spec.workload],
+                      tracer=journey, profile=profile, monitor=monitor,
+                      history=recorder)
+    summary = cluster.run(spec.duration_ns, warmup_ns=spec.warmup_ns)
+    sections: Dict[str, Any] = {}
+    if journey is not None:
+        # Deferred: waterfall imports obs.journey, so a module-level
+        # import here would close an import cycle through obs.__init__.
+        from repro.analysis.waterfall import (aggregate_journeys,
+                                              waterfall_json)
+        report = aggregate_journeys(journey.journeys, spec.servers,
+                                    label=str(model),
+                                    dropped=journey.dropped)
+        sections["journeys"] = _clean(waterfall_json(report))
+    if monitor is not None:
+        sections["health"] = _clean(health_json(monitor))
+    if "profile" in spec.sections:
+        sections["profile"] = strip_wall_clock(_clean(profile.snapshot()))
+    if recorder is not None:
+        from repro.audit import audit_history
+        from repro.obs.history import recovered_from_cluster
+        recorder.meta = _cell_meta(spec)
+        recorder.recovered = recovered_from_cluster(cluster)
+        audit = audit_history(recorder.history())
+        sections["audit"] = strip_wall_clock(_clean(audit))
+    snapshot = profile.snapshot()
+    return CellResult(
+        spec=spec, status="ok", summary=summary, sections=sections,
+        timing={"wall_seconds": snapshot["wall_seconds"],
+                "events_per_wall_second":
+                    snapshot["events_per_wall_second"],
+                "events_processed": snapshot["events_processed"]})
+
+
+class SweepProgress:
+    """Live sweep telemetry: per-cell state, events/sec, wall + ETA.
+
+    TTY streams get an in-place status line (carriage-return rewrite);
+    anything else — CI logs, pipes — gets one plain line per finished
+    cell, so the output stays line-oriented and diffable.  Progress goes
+    to ``stderr`` by default: stdout carries the result tables and
+    artifacts.
+    """
+
+    def __init__(self, total: int, workers: int = 1, stream=None):
+        self.total = total
+        self.workers = max(1, workers)
+        self.stream = sys.stderr if stream is None else stream
+        self.tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.done = 0
+        self.errors = 0
+        # repro: lint-ok[wall-clock-ban] progress telemetry: ETA needs real elapsed time
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed_seconds(self) -> float:
+        # repro: lint-ok[wall-clock-ban] progress telemetry: ETA needs real elapsed time
+        return time.perf_counter() - self._start
+
+    def _eta_seconds(self) -> float:
+        if self.done == 0:
+            return 0.0
+        remaining = self.total - self.done
+        return self.elapsed_seconds / self.done * remaining
+
+    def cell_done(self, result: CellResult) -> None:
+        self.done += 1
+        if result.status != "ok":
+            self.errors += 1
+        rate = ""
+        if result.timing:
+            rate = (f"  {result.timing['events_per_wall_second'] / 1e3:.0f}k"
+                    f" ev/s  cell {result.timing['wall_seconds']:.1f}s")
+        state = "ok" if result.status == "ok" else "ERROR"
+        line = (f"[{self.done}/{self.total}] {result.spec.label:<42} "
+                f"{state}{rate}  elapsed {self.elapsed_seconds:.1f}s"
+                f"  eta {self._eta_seconds():.0f}s")
+        if self.tty:
+            self.stream.write("\r\x1b[2K" + line)
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def finish(self) -> None:
+        if self.tty:
+            self.stream.write("\n")
+            self.stream.flush()
+
+
+def _error_result(spec: CellSpec, exc: BaseException) -> CellResult:
+    return CellResult(spec=spec, status="error",
+                      error=f"{type(exc).__name__}: {exc}")
+
+
+def run_sweep(specs: Sequence[CellSpec], workers: int = 1,
+              progress: Optional[SweepProgress] = None) -> List[CellResult]:
+    """Run every cell, fanning across ``workers`` processes.
+
+    ``workers <= 1`` runs in-process (no executor, today's path).  The
+    returned list is sorted by the deterministic cell key; a cell whose
+    worker raised (or whose pool died) is an ``error`` result, never a
+    missing one.
+    """
+    results: List[CellResult] = []
+    if workers <= 1:
+        for spec in specs:
+            try:
+                result = run_cell(spec)
+            except Exception as exc:  # noqa: BLE001 - failure is a value
+                result = _error_result(spec, exc)
+            results.append(result)
+            if progress is not None:
+                progress.cell_done(result)
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(run_cell, spec): spec for spec in specs}
+            for future in as_completed(futures):
+                spec = futures[future]
+                try:
+                    result = future.result()
+                except Exception as exc:  # noqa: BLE001 - failure is a value
+                    result = _error_result(spec, exc)
+                results.append(result)
+                if progress is not None:
+                    progress.cell_done(result)
+    if progress is not None:
+        progress.finish()
+    return sorted(results, key=lambda r: r.spec.sort_key)
+
+
+def sweep_meta(specs: Sequence[CellSpec]) -> Dict[str, Any]:
+    """The merged report's ``meta``: the matrix shape, no timing, no
+    worker count — nothing that may differ between equivalent sweeps."""
+    if not specs:
+        raise ValueError("cannot build a sweep report from zero cells")
+    first = specs[0]
+    models = sorted({f"{s.consistency}/{s.persistency}" for s in specs})
+    seeds = sorted({s.seed for s in specs})
+    return {
+        "workload": first.workload,
+        "servers": first.servers,
+        "clients": first.clients,
+        "duration_ns": first.duration_ns,
+        "warmup_ns": first.warmup_ns,
+        "models": models,
+        "seeds": seeds,
+        "sections": sorted(set(first.sections)),
+        "config_hash": config_fingerprint({
+            "workload": first.workload,
+            "servers": first.servers,
+            "clients": first.clients,
+            "models": models,
+        }),
+    }
+
+
+def build_sweep_report(results: Sequence[CellResult]) -> Dict[str, Any]:
+    """Merge cell results into the ``repro.sweep_report/1`` document.
+
+    Deterministic by construction: cells sorted by ``(consistency,
+    persistency, seed)``, timing stripped, NaN/inf cleaned — the same
+    inputs produce the same bytes whatever the completion order.
+    """
+    ordered = sorted(results, key=lambda r: r.spec.sort_key)
+    cells: List[Dict[str, Any]] = []
+    for result in ordered:
+        spec = result.spec
+        cell: Dict[str, Any] = {
+            "consistency": spec.consistency,
+            "persistency": spec.persistency,
+            "seed": spec.seed,
+            "model": str(spec.model),
+            "status": result.status,
+        }
+        if result.status == "ok":
+            cell["summary"] = _clean(result.summary)
+            for name in SECTIONS:
+                if name in result.sections:
+                    cell[name] = result.sections[name]
+        else:
+            cell["error"] = result.error or "unknown error"
+        cells.append(cell)
+    ok = sum(1 for r in ordered if r.status == "ok")
+    return {
+        "schema": SWEEP_REPORT_SCHEMA,
+        "meta": sweep_meta([r.spec for r in ordered]),
+        "cells": cells,
+        "totals": {"cells": len(cells), "ok": ok,
+                   "errors": len(cells) - ok},
+    }
+
+
+def write_sweep_report(path: str, report: Dict[str, Any]) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True, allow_nan=False)
+        fh.write("\n")
+
+
+def sweep_summaries(models: Sequence[DdpModel], workload: str = "A",
+                    servers: int = 5, clients: int = 100,
+                    duration_ns: float = 100_000.0,
+                    warmup_ns: float = 10_000.0, seed: int = 2021,
+                    workers: int = 1,
+                    ) -> Dict[Tuple[str, str], Tuple[Summary, float]]:
+    """Benchmark-harness entry: one :class:`Summary` (plus the cell's
+    own wall seconds) per model, fanned across ``workers``.
+
+    Raises on any errored cell — a benchmark sweep has no use for a
+    partial matrix.  Used by ``benchmarks/conftest.py`` to prefetch the
+    fig6 matrix in parallel while keeping per-cell wall clock
+    comparable with pre-parallel baselines.
+    """
+    specs = matrix_specs(models, [seed], workload=workload,
+                         servers=servers, clients=clients,
+                         duration_ns=duration_ns, warmup_ns=warmup_ns)
+    results = run_sweep(specs, workers=workers)
+    out: Dict[Tuple[str, str], Tuple[Summary, float]] = {}
+    for result in results:
+        if result.status != "ok":
+            raise RuntimeError(f"sweep cell {result.spec.label} failed: "
+                               f"{result.error}")
+        out[(result.spec.consistency, result.spec.persistency)] = (
+            result.summary, result.timing["wall_seconds"])
+    return out

@@ -448,3 +448,121 @@ class TestDiffCommand:
         captured = capsys.readouterr()
         assert code == 2
         assert captured.err.startswith("repro: cannot read")
+
+
+class TestSweepObservatory:
+    """The parallel sweep runner and the dashboard subcommand."""
+
+    ARGS = ["sweep", "--servers", "3", "--clients", "6",
+            "--duration-us", "15", "--no-progress"]
+
+    def test_sweep_out_is_schema_valid_and_worker_invariant(self, capsys,
+                                                            tmp_path):
+        serial, parallel = tmp_path / "w1.json", tmp_path / "w2.json"
+        assert main(self.ARGS + ["--out", str(serial)]) == 0
+        assert main(self.ARGS + ["--workers", "2", "--out",
+                                 str(parallel)]) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == parallel.read_bytes()
+        from repro.obs.schemas import validate_artifact
+        doc = json.loads(serial.read_text())
+        assert validate_artifact(doc).family == "repro.sweep_report"
+        assert doc["totals"] == {"cells": 6, "ok": 6, "errors": 0}
+
+    def test_sweep_crash_partial_artifact_and_exit_1(self, capsys,
+                                                     monkeypatch,
+                                                     tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH", "causal:eventual")
+        out = tmp_path / "partial.json"
+        code = main(self.ARGS + ["--workers", "2", "--out", str(out)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "errored" in captured.err
+        from repro.obs.schemas import validate_artifact
+        doc = json.loads(out.read_text())
+        validate_artifact(doc, family="repro.sweep_report")
+        assert doc["totals"]["errors"] == 1
+        error = [c for c in doc["cells"] if c["status"] == "error"][0]
+        assert (error["consistency"], error["persistency"]) == (
+            "causal", "eventual")
+
+    def test_sweep_progress_is_line_oriented_off_tty(self, capsys,
+                                                     tmp_path):
+        args = [a for a in self.ARGS if a != "--no-progress"]
+        assert main(args + ["--out", str(tmp_path / "s.json")]) == 0
+        captured = capsys.readouterr()
+        assert "\r" not in captured.err and "\x1b" not in captured.err
+        lines = [l for l in captured.err.splitlines() if l]
+        assert len(lines) == 6
+        assert lines[0].startswith("[1/6]")
+
+    def test_sweep_html_out_matches_report(self, capsys, tmp_path):
+        out, html_out = tmp_path / "s.json", tmp_path / "s.html"
+        assert main(self.ARGS + ["--out", str(out), "--html-out",
+                                 str(html_out)]) == 0
+        capsys.readouterr()
+        page = html_out.read_text()
+        doc = json.loads(out.read_text())
+        cell = doc["cells"][0]
+        value = repr(cell["summary"]["throughput_ops_per_s"])
+        key = f'{cell["consistency"]}/{cell["persistency"]}'
+        assert (f'data-metric="throughput_ops_per_s" '
+                f'data-cell="{key}" data-value="{value}"') in page
+
+    def test_sweep_seeds_run_each_model_per_seed(self, capsys, tmp_path):
+        out = tmp_path / "seeds.json"
+        assert main(self.ARGS + ["--seeds", "1", "2", "--out",
+                                 str(out)]) == 0
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        assert doc["totals"]["cells"] == 12
+        assert doc["meta"]["seeds"] == [1, 2]
+
+    def test_dash_renders_saved_report(self, capsys, tmp_path):
+        out = tmp_path / "s.json"
+        assert main(self.ARGS + ["--out", str(out)]) == 0
+        code = main(["dash", str(out)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "dashboard ->" in captured.out
+        page = (tmp_path / "s.json.html").read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "DDP sweep dashboard" in page
+
+    def test_dash_with_baseline_and_bench_dir(self, capsys, tmp_path):
+        out = tmp_path / "s.json"
+        assert main(self.ARGS + ["--out", str(out)]) == 0
+        bench_dir = tmp_path / "results"
+        bench_dir.mkdir()
+        (bench_dir / "BENCH_x.json").write_text(json.dumps(
+            {"schema": "repro.bench/1", "bench": "x", "config": {},
+             "metrics": {"a": {"throughput_ops_per_s": 1.0},
+                         "b": {"throughput_ops_per_s": 2.0}}}))
+        html_out = tmp_path / "d.html"
+        code = main(["dash", str(out), "--out", str(html_out),
+                     "--baseline", str(out), "--bench-dir",
+                     str(bench_dir)])
+        capsys.readouterr()
+        assert code == 0
+        page = html_out.read_text()
+        assert "no regression" in page
+        assert "Bench trends" in page
+
+    def test_dash_rejects_non_sweep_artifact(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps({"schema": "repro.run_report/6",
+                                    "meta": {}, "summary": {},
+                                    "windows": []}))
+        code = main(["dash", str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "expected a repro.sweep_report" in captured.err
+
+    def test_dash_missing_and_invalid_inputs_exit_2(self, capsys,
+                                                    tmp_path):
+        assert main(["dash", str(tmp_path / "nope.json")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["dash", str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert "repro:" in captured.err

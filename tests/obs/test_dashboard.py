@@ -1,0 +1,178 @@
+"""The sweep dashboard: self-containment and value fidelity.
+
+The dashboard's contract is that it is one static file whose numbers
+are the merged report's numbers — every heatmap cell carries the
+seed-averaged summary value as a machine-checkable ``data-value``.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.core.model import all_ddp_models
+from repro.obs.dashboard import (build_dashboard, load_bench_dir,
+                                 write_dashboard)
+from repro.obs.sweep import build_sweep_report, matrix_specs, run_sweep
+
+DURATION = 20_000.0
+WARMUP = 2_000.0
+
+
+@pytest.fixture(scope="module")
+def sweep_doc():
+    specs = matrix_specs(all_ddp_models()[:4], [1, 2],
+                         duration_ns=DURATION, warmup_ns=WARMUP,
+                         sections=("journeys", "profile"))
+    return build_sweep_report(run_sweep(specs))
+
+
+@pytest.fixture(scope="module")
+def page(sweep_doc):
+    return build_dashboard(sweep_doc)
+
+
+def cell_values(page, metric):
+    pattern = (rf'data-metric="{metric}" data-cell="([^"]+)" '
+               rf'data-value="([^"]+)"')
+    return {cell: float(value)
+            for cell, value in re.findall(pattern, page)}
+
+
+class TestSelfContained:
+    def test_no_external_references(self, page):
+        for needle in ("http://", "https://", "src=", "href=", "@import"):
+            assert needle not in page, needle
+
+    def test_single_valid_html_document(self, page):
+        assert page.startswith("<!DOCTYPE html>")
+        assert page.count("<html") == page.count("</html>") == 1
+        assert "<style>" in page and "<script>" in page
+
+    def test_write_dashboard(self, tmp_path, page):
+        path = tmp_path / "dash.html"
+        write_dashboard(str(path), page)
+        assert path.read_text() == page
+
+
+class TestHeatmapFidelity:
+    def test_every_model_has_a_cell_per_metric(self, sweep_doc, page):
+        models = {(c["consistency"], c["persistency"])
+                  for c in sweep_doc["cells"]}
+        for metric in ("throughput_ops_per_s", "mean_write_ns",
+                       "mean_read_ns"):
+            values = cell_values(page, metric)
+            assert len(values) == len(models), metric
+
+    def test_cell_values_are_seed_means_of_the_report(self, sweep_doc,
+                                                      page):
+        values = cell_values(page, "throughput_ops_per_s")
+        for (cons, pers) in {(c["consistency"], c["persistency"])
+                             for c in sweep_doc["cells"]}:
+            samples = [c["summary"]["throughput_ops_per_s"]
+                       for c in sweep_doc["cells"]
+                       if (c["consistency"], c["persistency"])
+                       == (cons, pers)]
+            expected = sum(samples) / len(samples)
+            assert values[f"{cons}/{pers}"] == pytest.approx(expected)
+
+    def test_table_view_present(self, page):
+        assert page.count("Table view") >= 3
+
+
+class TestSections:
+    def test_waterfalls_rendered_for_journeys(self, page):
+        assert "Journey waterfalls" in page
+        assert " VP " or "VP" in page
+        for bucket in ("network", "coord_wait", "nvm_queue", "device",
+                       "compute"):
+            assert bucket in page
+
+    def test_kernel_attribution_rendered_for_profiles(self, page):
+        assert "Kernel attribution" in page
+        assert "msg_delivery" in page
+
+    def test_sections_absent_without_data(self):
+        specs = matrix_specs(all_ddp_models()[:1], [1],
+                             duration_ns=DURATION, warmup_ns=WARMUP)
+        page = build_dashboard(build_sweep_report(run_sweep(specs)))
+        assert "Journey waterfalls" not in page
+        assert "Kernel attribution" not in page
+
+
+class TestErrorCells:
+    def test_error_cell_marked_with_icon_and_label(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH", "causal:eventual")
+        from repro.core.model import Consistency, DdpModel, Persistency
+        models = [DdpModel(Consistency.CAUSAL, Persistency.EVENTUAL),
+                  DdpModel(Consistency.EVENTUAL, Persistency.EVENTUAL)]
+        specs = matrix_specs(models, [1], duration_ns=DURATION,
+                             warmup_ns=WARMUP)
+        page = build_dashboard(build_sweep_report(run_sweep(specs)))
+        assert "✗ error" in page
+        assert "Errored cells" in page
+        assert "RuntimeError" in page
+
+
+class TestBaselineDiff:
+    def test_identical_sweeps_report_no_regression(self, sweep_doc):
+        page = build_dashboard(sweep_doc, baseline=sweep_doc)
+        assert "✓ no regression" in page
+
+    def test_regression_colored_by_verdict(self, sweep_doc):
+        worse = json.loads(json.dumps(sweep_doc))
+        for cell in worse["cells"]:
+            cell["summary"]["throughput_ops_per_s"] *= 0.5
+        page = build_dashboard(worse, baseline=sweep_doc)
+        assert "✗ regression" in page
+        assert 'class="badge crit"' in page
+
+    def test_incomparable_baseline_becomes_banner(self, sweep_doc):
+        other = json.loads(json.dumps(sweep_doc))
+        other["meta"]["config_hash"] = "0000000000000000"
+        page = build_dashboard(sweep_doc, baseline=other)
+        assert "not comparable" in page
+
+
+class TestBenchTrends:
+    def bench(self, name, value, config_hash="abc"):
+        return {"schema": "repro.bench/1", "bench": name,
+                "config_hash": config_hash,
+                "metrics": {"a": {"throughput_ops_per_s": value},
+                            "b": {"throughput_ops_per_s": value * 2}}}
+
+    def test_sparklines_from_matching_fingerprints(self, sweep_doc):
+        docs = [("BENCH_one.json", self.bench("fig6", 1e6)),
+                ("BENCH_two.json", self.bench("fig6", 2e6))]
+        page = build_dashboard(sweep_doc, bench_docs=docs)
+        assert "Bench trends" in page
+        assert "polyline" in page
+        assert "across 2 archives" in page
+
+    def test_fingerprint_mismatch_listed_not_mixed(self, sweep_doc):
+        # The last file in name order is the reference; earlier archives
+        # with a different fingerprint are excluded and listed.
+        docs = [("BENCH_1_old.json", self.bench("fig6", 1e6, "old")),
+                ("BENCH_2_new.json", self.bench("fig6", 2e6, "new"))]
+        page = build_dashboard(sweep_doc, bench_docs=docs)
+        assert "fingerprint mismatch" in page
+        assert "BENCH_1_old.json" in page
+
+    def test_load_bench_dir_skips_garbage(self, tmp_path):
+        (tmp_path / "BENCH_good.json").write_text(
+            json.dumps(self.bench("x", 1.0)))
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        (tmp_path / "other.json").write_text("{}")
+        docs = load_bench_dir(str(tmp_path))
+        assert [name for name, _ in docs] == ["BENCH_good.json"]
+
+
+class TestAccessibility:
+    def test_dark_mode_media_query(self, page):
+        assert "prefers-color-scheme: dark" in page
+
+    def test_legend_present_for_waterfall_buckets(self, page):
+        assert 'class="legend"' in page
+
+    def test_tabular_numbers(self, page):
+        assert "tabular-nums" in page

@@ -15,7 +15,7 @@ def _run_report(p99=1_000.0, throughput=1e8, config_hash="cafe",
                "mean_write_ns": 800.0, "persists": 5_000}
     summary.update(extra)
     return {"schema": schema, "meta": {"config_hash": config_hash},
-            "summary": summary}
+            "summary": summary, "windows": []}
 
 
 def _bench(config_hash="beef", **labels):
@@ -365,7 +365,8 @@ class TestLoading:
     def test_unsupported_schema(self, tmp_path):
         path = tmp_path / "future.json"
         path.write_text(json.dumps({"schema": "repro.run_report/99"}))
-        with pytest.raises(DiffError, match="unsupported schema"):
+        with pytest.raises(DiffError, match="unknown repro.run_report "
+                                            "version"):
             load_artifact(str(path))
 
     def test_old_run_report_schemas_accepted(self, tmp_path):
@@ -403,3 +404,89 @@ class TestRendering:
         a = diff_json(diff_documents(_run_report(), _run_report()))
         b = diff_json(diff_documents(_run_report(), _run_report()))
         assert a == b
+
+
+def _sweep(config_hash="feed", cells=None):
+    if cells is None:
+        cells = [_sweep_cell("causal", "eventual", 1)]
+    return {"schema": "repro.sweep_report/1",
+            "meta": {"config_hash": config_hash},
+            "cells": cells,
+            "totals": {"cells": len(cells),
+                       "ok": sum(1 for c in cells
+                                 if c["status"] == "ok"),
+                       "errors": sum(1 for c in cells
+                                     if c["status"] != "ok")}}
+
+
+def _sweep_cell(consistency, persistency, seed, status="ok",
+                throughput=1e8, p99=1_000.0):
+    cell = {"consistency": consistency, "persistency": persistency,
+            "seed": seed, "model": f"<{consistency}, {persistency}>",
+            "status": status}
+    if status == "ok":
+        cell["summary"] = {"throughput_ops_per_s": throughput,
+                           "p99_write_ns": p99}
+    else:
+        cell["error"] = "RuntimeError: boom"
+    return cell
+
+
+class TestSweepReports:
+    def test_identical_sweeps_no_regression(self):
+        report = diff_documents(_sweep(), _sweep())
+        assert report.verdict == "no-regression"
+
+    def test_per_cell_metric_regression(self):
+        base = _sweep(cells=[_sweep_cell("causal", "eventual", 1),
+                             _sweep_cell("eventual", "eventual", 1)])
+        cand = _sweep(cells=[_sweep_cell("causal", "eventual", 1),
+                             _sweep_cell("eventual", "eventual", 1,
+                                         throughput=5e7)])
+        report = diff_documents(base, cand)
+        assert report.verdict == "regression"
+        labels = {e.label for e in report.regressions}
+        assert labels == {"eventual/eventual@seed1"}
+
+    def test_candidate_only_crash_is_a_regression(self):
+        base = _sweep()
+        cand = _sweep(cells=[_sweep_cell("causal", "eventual", 1,
+                                         status="error")])
+        report = diff_documents(base, cand)
+        assert report.verdict == "regression"
+        assert any(e.metric == "cell_error" for e in report.regressions)
+
+    def test_crash_fixed_in_candidate_is_improvement(self):
+        base = _sweep(cells=[_sweep_cell("causal", "eventual", 1,
+                                         status="error")])
+        report = diff_documents(base, _sweep())
+        assert report.verdict == "no-regression"
+        assert any(e.metric == "cell_error"
+                   for e in report.improvements)
+
+    def test_one_sided_cells_listed_never_veto(self):
+        base = _sweep(cells=[_sweep_cell("causal", "eventual", 1),
+                             _sweep_cell("causal", "eventual", 2)])
+        cand = _sweep(cells=[_sweep_cell("causal", "eventual", 1),
+                             _sweep_cell("eventual", "eventual", 1)])
+        report = diff_documents(base, cand)
+        assert report.verdict == "no-regression"
+        assert "causal/eventual@seed2" in report.only_in_baseline
+        assert "eventual/eventual@seed1" in report.only_in_candidate
+
+    def test_config_hash_mismatch_rejected(self):
+        with pytest.raises(DiffError, match="config mismatch"):
+            diff_documents(_sweep("aaaa"), _sweep("bbbb"))
+
+    def test_sweep_vs_run_report_rejected(self):
+        with pytest.raises(DiffError, match="cannot diff"):
+            diff_documents(_sweep(), _run_report())
+
+    def test_exit_semantics_via_paths(self, tmp_path):
+        base, cand = tmp_path / "a.json", tmp_path / "b.json"
+        base.write_text(json.dumps(_sweep()))
+        cand.write_text(json.dumps(_sweep(cells=[
+            _sweep_cell("causal", "eventual", 1, status="error")])))
+        report = diff_paths(str(base), str(cand))
+        assert report.verdict == "regression"
+        assert report.schema_family == "sweep_report"

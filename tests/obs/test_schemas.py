@@ -1,0 +1,82 @@
+"""The artifact schema registry: tags, parsing, validation."""
+
+import pytest
+
+from repro.obs.schemas import (BENCH_SCHEMA, RUN_REPORT_SCHEMA, SCHEMAS,
+                               SWEEP_REPORT_SCHEMA, SchemaError,
+                               parse_schema_tag, schema_tag, schema_tags,
+                               validate_artifact)
+
+
+class TestRegistry:
+    def test_every_family_has_tags_and_required_keys(self):
+        for family, schema in SCHEMAS.items():
+            assert schema.family == family
+            assert schema.versions, family
+            assert schema.tags, family
+            assert schema.current == f"{family}/{schema.versions[-1]}"
+
+    def test_module_constants_are_current_tags(self):
+        assert RUN_REPORT_SCHEMA == schema_tag("repro.run_report")
+        assert SWEEP_REPORT_SCHEMA == "repro.sweep_report/1"
+        assert BENCH_SCHEMA == "repro.bench/1"
+
+    def test_schema_tags_lists_every_version(self):
+        tags = schema_tags("repro.run_report")
+        assert tags[-1] == RUN_REPORT_SCHEMA
+        assert all(tag.startswith("repro.run_report/") for tag in tags)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(SchemaError, match="unknown artifact family"):
+            schema_tag("repro.nonsense")
+
+
+class TestParseTag:
+    def test_round_trip(self):
+        family, version = parse_schema_tag("repro.sweep_report/1")
+        assert (family, version) == ("repro.sweep_report", 1)
+
+    @pytest.mark.parametrize("tag", ["", "no-slash", "x/notanumber",
+                                     "repro.run_report/"])
+    def test_malformed(self, tag):
+        with pytest.raises(SchemaError):
+            parse_schema_tag(tag)
+
+
+class TestValidate:
+    def doc(self):
+        return {"schema": SWEEP_REPORT_SCHEMA, "meta": {}, "cells": [],
+                "totals": {}}
+
+    def test_valid_doc_returns_registry_entry(self):
+        schema = validate_artifact(self.doc())
+        assert schema.family == "repro.sweep_report"
+
+    def test_family_pin_enforced(self):
+        validate_artifact(self.doc(), family="repro.sweep_report")
+        with pytest.raises(SchemaError, match="expected"):
+            validate_artifact(self.doc(), family="repro.run_report")
+
+    def test_missing_schema_key(self):
+        with pytest.raises(SchemaError, match="no schema field"):
+            validate_artifact({"cells": []})
+
+    def test_not_a_mapping(self):
+        with pytest.raises(SchemaError):
+            validate_artifact([1, 2, 3])
+
+    def test_unknown_version(self):
+        doc = self.doc()
+        doc["schema"] = "repro.sweep_report/99"
+        with pytest.raises(SchemaError, match="version"):
+            validate_artifact(doc)
+
+    def test_missing_required_key(self):
+        doc = self.doc()
+        del doc["cells"]
+        with pytest.raises(SchemaError, match="cells"):
+            validate_artifact(doc)
+
+    def test_path_in_message(self):
+        with pytest.raises(SchemaError, match="x.json"):
+            validate_artifact({}, path="x.json")

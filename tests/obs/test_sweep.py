@@ -1,0 +1,219 @@
+"""The sweep observatory: deterministic merge, parallelism, failure.
+
+The load-bearing contract: ``run_sweep`` with any worker count produces
+the same merged ``repro.sweep_report/1`` bytes, a crashed worker
+becomes a schema-valid ``error`` cell rather than a torn artifact, and
+progress output stays line-oriented off a TTY.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.core.model import (Consistency, DdpModel, Persistency,
+                              all_ddp_models)
+from repro.obs.schemas import SWEEP_REPORT_SCHEMA, validate_artifact
+from repro.obs.sweep import (CellResult, CellSpec, SweepProgress,
+                             build_sweep_report, matrix_specs, run_cell,
+                             run_sweep, strip_wall_clock, sweep_meta,
+                             sweep_summaries, write_sweep_report)
+
+DURATION = 20_000.0
+WARMUP = 2_000.0
+
+
+def specs_for(models, seeds=(1,), sections=()):
+    return matrix_specs(models, seeds, duration_ns=DURATION,
+                        warmup_ns=WARMUP, sections=sections)
+
+
+def report_bytes(doc):
+    return json.dumps(doc, indent=2, sort_keys=True, allow_nan=False)
+
+
+class TestCellSpec:
+    def test_sort_key_ignores_construction_order(self):
+        specs = specs_for(list(reversed(all_ddp_models()[:6])), seeds=(2, 1))
+        assert specs == sorted(specs, key=lambda s: s.sort_key)
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep section"):
+            CellSpec("causal", "eventual", 1, sections=("bogus",))
+
+    def test_label_names_model_and_seed(self):
+        spec = CellSpec("causal", "eventual", 7)
+        assert "Causal" in spec.label and "seed=7" in spec.label
+
+
+class TestStripWallClock:
+    def test_removes_wall_keys_recursively(self):
+        doc = {"wall_seconds": 1.0, "events_processed": 5,
+               "nested": {"checker_wall_seconds": 2.0, "ok": True,
+                          "details": [{"wall_ms": 3.0, "rule": "x"}]}}
+        stripped = strip_wall_clock(doc)
+        assert stripped == {"events_processed": 5,
+                            "nested": {"ok": True,
+                                       "details": [{"rule": "x"}]}}
+
+    def test_report_contains_no_wall_clock(self):
+        specs = specs_for(all_ddp_models()[:1],
+                          sections=("journeys", "health", "profile",
+                                    "audit"))
+        text = report_bytes(build_sweep_report(run_sweep(specs)))
+        for needle in ("wall_seconds", "wall_ms", "events_per_wall",
+                       "attributed_fraction", "checker_wall"):
+            assert needle not in text, needle
+
+
+class TestDeterministicMerge:
+    def test_workers_1_and_4_byte_identical(self):
+        specs = specs_for(all_ddp_models()[:4], seeds=(1, 2),
+                          sections=("journeys", "profile"))
+        serial = build_sweep_report(run_sweep(specs, workers=1))
+        parallel = build_sweep_report(run_sweep(specs, workers=4))
+        assert report_bytes(serial) == report_bytes(parallel)
+
+    def test_cells_sorted_by_key_not_completion(self):
+        specs = specs_for(all_ddp_models()[:4], seeds=(2, 1))
+        doc = build_sweep_report(run_sweep(specs, workers=2))
+        keys = [(c["consistency"], c["persistency"], c["seed"])
+                for c in doc["cells"]]
+        assert keys == sorted(keys)
+
+    def test_write_round_trips(self, tmp_path):
+        specs = specs_for(all_ddp_models()[:1])
+        doc = build_sweep_report(run_sweep(specs))
+        path = tmp_path / "sweep.json"
+        write_sweep_report(str(path), doc)
+        assert json.loads(path.read_text()) == doc
+
+    def test_meta_has_no_worker_count(self):
+        specs = specs_for(all_ddp_models()[:2], seeds=(1, 2))
+        meta = sweep_meta(specs)
+        assert "workers" not in report_bytes(meta)
+        assert meta["seeds"] == [1, 2]
+        assert len(meta["models"]) == 2
+        assert meta["config_hash"]
+
+    def test_meta_requires_cells(self):
+        with pytest.raises(ValueError):
+            sweep_meta([])
+
+
+class TestCellSections:
+    def test_requested_sections_present(self):
+        specs = specs_for(all_ddp_models()[:1],
+                          sections=("journeys", "health", "profile",
+                                    "audit"))
+        cell = build_sweep_report(run_sweep(specs))["cells"][0]
+        for section in ("journeys", "health", "profile", "audit"):
+            assert section in cell, section
+        assert cell["audit"]["usable"] is True
+        assert cell["journeys"]["journeys"] > 0
+        assert cell["profile"]["events_processed"] > 0
+
+    def test_default_cells_are_summary_only(self):
+        specs = specs_for(all_ddp_models()[:1])
+        cell = build_sweep_report(run_sweep(specs))["cells"][0]
+        assert "journeys" not in cell and "profile" not in cell
+        assert cell["summary"]["requests"] > 0
+
+
+class TestFailure:
+    CRASH = DdpModel(Consistency.CAUSAL, Persistency.EVENTUAL)
+
+    def rig(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH", value)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_crashed_cell_is_schema_valid_error_entry(self, monkeypatch,
+                                                      workers):
+        self.rig(monkeypatch, "causal:eventual")
+        models = [self.CRASH,
+                  DdpModel(Consistency.EVENTUAL, Persistency.EVENTUAL)]
+        doc = build_sweep_report(run_sweep(specs_for(models),
+                                           workers=workers))
+        validate_artifact(doc, family="repro.sweep_report")
+        assert doc["totals"] == {"cells": 2, "ok": 1, "errors": 1}
+        error = [c for c in doc["cells"] if c["status"] == "error"][0]
+        assert error["consistency"] == "causal"
+        assert "RuntimeError" in error["error"]
+        assert "summary" not in error
+
+    def test_seed_scoped_rig_only_hits_that_seed(self, monkeypatch):
+        self.rig(monkeypatch, "causal:eventual:2")
+        doc = build_sweep_report(
+            run_sweep(specs_for([self.CRASH], seeds=(1, 2))))
+        status = {c["seed"]: c["status"] for c in doc["cells"]}
+        assert status == {1: "ok", 2: "error"}
+
+    def test_run_cell_raises_when_rigged(self, monkeypatch):
+        self.rig(monkeypatch, "causal:eventual")
+        with pytest.raises(RuntimeError, match="rigged crash"):
+            run_cell(CellSpec("causal", "eventual", 1,
+                              duration_ns=DURATION, warmup_ns=WARMUP))
+
+    def test_sweep_summaries_raises_on_error_cell(self, monkeypatch):
+        self.rig(monkeypatch, "causal:eventual")
+        with pytest.raises(RuntimeError, match="failed"):
+            sweep_summaries([self.CRASH], duration_ns=DURATION,
+                            warmup_ns=WARMUP)
+
+
+class TestSweepSummaries:
+    def test_matches_direct_run(self):
+        from repro.cluster.cluster import run_simulation
+        from repro.workload.ycsb import WORKLOADS
+        model = all_ddp_models()[0]
+        by_model = sweep_summaries([model], duration_ns=DURATION,
+                                   warmup_ns=WARMUP)
+        summary, wall = by_model[(model.consistency.value,
+                                  model.persistency.value)]
+        direct = run_simulation(model, WORKLOADS["A"],
+                                duration_ns=DURATION, warmup_ns=WARMUP)
+        assert summary == direct
+        assert wall > 0
+
+
+class TestProgress:
+    def ok_result(self, spec):
+        return CellResult(spec=spec, status="ok",
+                          timing={"wall_seconds": 0.5,
+                                  "events_per_wall_second": 120_000.0,
+                                  "events_processed": 60_000})
+
+    def test_non_tty_is_line_oriented(self):
+        stream = io.StringIO()  # isatty() -> False
+        progress = SweepProgress(total=2, workers=2, stream=stream)
+        spec = CellSpec("causal", "eventual", 1)
+        progress.cell_done(self.ok_result(spec))
+        progress.cell_done(CellResult(spec=spec, status="error",
+                                      error="boom"))
+        progress.finish()
+        text = stream.getvalue()
+        assert "\r" not in text and "\x1b" not in text
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("[1/2]") and "ok" in lines[0]
+        assert "ERROR" in lines[1]
+        assert "eta" in lines[0]
+
+    def test_tty_rewrites_in_place(self):
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = Tty()
+        progress = SweepProgress(total=1, workers=1, stream=stream)
+        progress.cell_done(self.ok_result(CellSpec("causal", "eventual", 1)))
+        progress.finish()
+        text = stream.getvalue()
+        assert text.startswith("\r\x1b[2K")
+        assert text.endswith("\n")
+
+
+class TestSchemaTag:
+    def test_report_carries_current_tag(self):
+        doc = build_sweep_report(run_sweep(specs_for(all_ddp_models()[:1])))
+        assert doc["schema"] == SWEEP_REPORT_SCHEMA
